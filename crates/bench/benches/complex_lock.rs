@@ -1,0 +1,24 @@
+//! E3 Criterion bench: complex-lock read/write mixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::complex_lock_mix;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_complex_lock");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for write_pct in [0u32, 1, 10, 50] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("writes_{write_pct}pct"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| complex_lock_mix(write_pct, threads, 10_000));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

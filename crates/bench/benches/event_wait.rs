@@ -1,0 +1,21 @@
+//! E6 Criterion bench: event-wait handoffs vs host condvar.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::{condvar_handoff, event_handoff};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_event_wait");
+    g.sample_size(10);
+    for pairs in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("event_wait", pairs), &pairs, |b, &p| {
+            b.iter(|| event_handoff(p, 2_000));
+        });
+        g.bench_with_input(BenchmarkId::new("condvar", pairs), &pairs, |b, &p| {
+            b.iter(|| condvar_handoff(p, 2_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

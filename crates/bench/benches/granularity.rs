@@ -1,0 +1,29 @@
+//! E2 Criterion bench: code locking vs data locking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::{granularity_bank, Granularity};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_granularity");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for kind in Granularity::ALL {
+            let iters = if kind == Granularity::MasterProcessor {
+                2_000
+            } else {
+                10_000
+            };
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| granularity_bank(kind, 64, threads, iters));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

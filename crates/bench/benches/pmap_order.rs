@@ -1,0 +1,21 @@
+//! E9 Criterion bench: pmap/pv lock-ordering disciplines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::pmap_storm;
+use machk_vm::OrderingDiscipline;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_pmap_order");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for d in OrderingDiscipline::ALL {
+            g.bench_with_input(BenchmarkId::new(d.name(), threads), &threads, |b, &t| {
+                b.iter(|| pmap_storm(d, t, 2_000));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

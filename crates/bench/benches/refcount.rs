@@ -1,0 +1,31 @@
+//! E5 Criterion bench: reference counting implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::{refcount_churn, refcount_storm, RefImpl};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_refcount");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for imp in RefImpl::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("storm/{}", imp.name()), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| refcount_storm(imp, t, 20_000));
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("churn/{}", imp.name()), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| refcount_churn(imp, t, 2_000, 4));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

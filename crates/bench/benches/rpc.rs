@@ -1,0 +1,24 @@
+//! E12 Criterion bench: kernel RPC under both reference semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::rpc_storm;
+use machk_ipc::RefSemantics;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_rpc");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for (name, sem) in [
+            ("mach25", RefSemantics::Mach25),
+            ("mach30", RefSemantics::Mach30),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+                b.iter(|| rpc_storm(sem, t, 2_000));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E14 Criterion bench: TLB shootdown latency vs machine size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_intr::{BarrierOutcome, Machine};
+use machk_vm::{PageId, TlbSystem};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One batch of `rounds` shootdowns on a fresh machine of `cpus`.
+fn shootdown_batch(cpus: usize, rounds: u32) {
+    let machine = Arc::new(Machine::new(cpus));
+    let tlb = Arc::new(TlbSystem::new(Arc::clone(&machine), 1));
+    let done = Arc::new(AtomicBool::new(false));
+    machine.run(|cpu| {
+        if cpu.id() == 0 {
+            for i in 0..rounds {
+                tlb.cache_translation(0, 0x1000 * i as u64, PageId(i));
+                let outcome = tlb.shootdown_update(0, || {}, Duration::from_secs(10));
+                assert_eq!(outcome, BarrierOutcome::Completed);
+            }
+            done.store(true, Ordering::SeqCst);
+        } else {
+            while !done.load(Ordering::SeqCst) {
+                cpu.poll();
+                core::hint::spin_loop();
+            }
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_shootdown");
+    g.sample_size(10);
+    for cpus in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("rounds_50", cpus), &cpus, |b, &n| {
+            b.iter(|| shootdown_batch(n, 50));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

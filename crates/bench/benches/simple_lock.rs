@@ -1,0 +1,37 @@
+//! E1 Criterion bench: simple-lock acquisition policies.
+//!
+//! One Criterion group per thread count; bars compare TAS, TTAS,
+//! TAS-then-TTAS (± backoff) on the shared-counter workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::simple_lock_counter;
+use machk_core::{Backoff, SpinPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_simple_lock");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for policy in SpinPolicy::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(policy.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| simple_lock_counter(policy, Backoff::NONE, threads, 20_000));
+                },
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new("tas+ttas+backoff", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    simple_lock_counter(SpinPolicy::TasThenTtas, Backoff::DEFAULT, threads, 20_000)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

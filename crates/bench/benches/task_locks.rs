@@ -1,0 +1,26 @@
+//! E8 Criterion bench: two-lock vs one-lock task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::{task_mixed_ops, TaskFlavor};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_task_locks");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for flavor in TaskFlavor::ALL {
+            for pct in [50u32, 90] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{}/translate_{pct}pct", flavor.name()), threads),
+                    &threads,
+                    |b, &t| {
+                        b.iter(|| task_mixed_ops(flavor, pct, t, 10_000));
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

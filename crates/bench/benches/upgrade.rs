@@ -1,0 +1,25 @@
+//! E4 Criterion bench: upgrade vs write-then-downgrade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::{lookup_insert_upgrade, lookup_insert_write_downgrade};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_upgrade");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("upgrade", threads), &threads, |b, &t| {
+            b.iter(|| lookup_insert_upgrade(t, 5_000, 30));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("write_downgrade", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| lookup_insert_write_downgrade(t, 5_000, 30));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

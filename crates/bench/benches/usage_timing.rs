@@ -1,0 +1,20 @@
+//! E15 Criterion bench: lock-free vs locked usage timers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::{timer_tick_storm, TimerImpl};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_usage_timing");
+    g.sample_size(10);
+    for readers in [0usize, 2] {
+        for imp in TimerImpl::ALL {
+            g.bench_with_input(BenchmarkId::new(imp.name(), readers), &readers, |b, &r| {
+                b.iter(|| timer_tick_storm(imp, 2, r, 20_000));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E11 Criterion bench: paging-in-progress count throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::vm_object_paging_storm;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_vm_object");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("paging_ops", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| vm_object_paging_storm(t, 10_000));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

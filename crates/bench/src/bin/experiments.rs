@@ -1,0 +1,56 @@
+//! The experiments binary: regenerate every table of the reproduction.
+//!
+//! The source paper has no tables or figures of its own (it is a
+//! design/experience paper); DESIGN.md defines experiments E1–E15, one
+//! per mechanism or claim in the text, and this binary prints them.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [E1 E7 E10 ...]
+//! ```
+//!
+//! `--quick` shrinks iteration counts (used by CI); naming experiment
+//! ids runs a subset. Results for the repository's EXPERIMENTS.md come
+//! from a `--release` run without `--quick`.
+
+use machk_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_uppercase())
+        .collect();
+
+    println!("Locking and Reference Counting in the Mach Kernel (ICPP 1991)");
+    println!(
+        "reproduction experiment suite — {} mode",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "host: {} hardware threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
+    );
+
+    let mut ran = 0;
+    for (id, title, run) in experiments::all() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        println!("\n################ {id}: {title}");
+        let started = std::time::Instant::now();
+        let table = run(quick);
+        print!("{table}");
+        println!("  [{id} completed in {:?}]", started.elapsed());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {wanted:?}; known ids are E1..E15");
+        std::process::exit(2);
+    }
+}

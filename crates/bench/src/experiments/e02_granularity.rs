@@ -1,0 +1,41 @@
+//! E2 — locking granularity: code locking vs data locking.
+//!
+//! Paper §2: a single kernel lock (or a master processor) "restricts
+//! kernel execution to essentially one processor at a time ...
+//! \[causing\] performance bottlenecks. The alternative is to associate
+//! locks with data structures; this allows code to execute in parallel
+//! with itself". Expected shape: global-lock and master-processor stay
+//! flat (or degrade) as threads grow; per-structure locking scales.
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::{granularity_bank, Granularity};
+
+/// Run E2 and render its table.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 5_000 } else { 100_000 };
+    let nstructs = 64;
+    let mut t = Table::new(
+        "E2: ops/s on a bank of 64 independent structures",
+        &[
+            "threads",
+            "global-lock",
+            "master-cpu",
+            "per-structure",
+            "per-struct speedup",
+        ],
+    );
+    for threads in thread_sweep() {
+        let global = granularity_bank(Granularity::GlobalLock, nstructs, threads, iters);
+        let master = granularity_bank(Granularity::MasterProcessor, nstructs, threads, iters / 4);
+        let fine = granularity_bank(Granularity::PerStructure, nstructs, threads, iters);
+        t.row(&[
+            threads.to_string(),
+            fmt_rate(global),
+            fmt_rate(master),
+            fmt_rate(fine),
+            format!("{:.1}x", fine / global),
+        ]);
+    }
+    t.note("paper: locks on code serialize the kernel; locks on data let it run in parallel with itself");
+    t.render()
+}

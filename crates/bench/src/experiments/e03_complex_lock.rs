@@ -1,0 +1,60 @@
+//! E3 — complex lock behaviour: reader parallelism and writers
+//! priority.
+//!
+//! Paper §4: the Multiple protocol is "a multiple readers/single writer
+//! lock, with writers priority to avoid starvation". Expected shape:
+//! read-only workloads scale with threads; throughput falls as the
+//! write fraction grows; the writer's worst-case wait under a
+//! continuous reader storm stays bounded (no starvation).
+
+use std::time::Duration;
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::{complex_lock_mix, writer_latency_under_readers};
+
+/// Run E3 and render its tables.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 10_000 } else { 200_000 };
+    let mut out = String::new();
+
+    let mut t = Table::new(
+        "E3a: readers/writer mix throughput (ops/s)",
+        &[
+            "threads",
+            "0% writes",
+            "1% writes",
+            "10% writes",
+            "50% writes",
+        ],
+    );
+    for threads in thread_sweep() {
+        let mut cells = vec![threads.to_string()];
+        for pct in [0, 1, 10, 50] {
+            cells.push(fmt_rate(complex_lock_mix(pct, threads, iters)));
+        }
+        t.row(&cells);
+    }
+    t.note("read-mostly workloads are where the Multiple protocol pays for itself");
+    out.push_str(&t.render());
+
+    let dur = if quick {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(500)
+    };
+    let mut t = Table::new(
+        "E3b: writer wait under a continuous reader storm",
+        &["reader threads", "mean wait (us)", "worst wait (us)"],
+    );
+    for threads in thread_sweep() {
+        let (mean, worst) = writer_latency_under_readers(threads, dur);
+        t.row(&[
+            threads.to_string(),
+            format!("{mean:.1}"),
+            format!("{worst:.1}"),
+        ]);
+    }
+    t.note("writers priority: 'readers may not be added ... in the presence of an outstanding write request'");
+    out.push_str(&t.render());
+    out
+}

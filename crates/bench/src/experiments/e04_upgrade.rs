@@ -1,0 +1,47 @@
+//! E4 — read→write upgrade vs write-then-downgrade.
+//!
+//! Paper §7.1: "The read to write upgrade feature ... is rarely used
+//! because a failed upgrade attempt releases the read lock ... \[and\]
+//! requires recovery logic in the caller. A simpler alternative ... is
+//! to initially lock for writing, and downgrade to a read lock after
+//! operations that require the write lock are complete. This downgrade
+//! cannot fail and does not require any special logic."
+//!
+//! Expected shape: comparable or better throughput for
+//! write-then-downgrade, *zero* failure/recovery events, while the
+//! upgrade strategy pays failed upgrades that grow with contention.
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::{lookup_insert_upgrade, lookup_insert_write_downgrade};
+
+/// Run E4 and render its table.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 5_000 } else { 100_000 };
+    let mut out = String::new();
+    for miss_pct in [5u32, 50u32] {
+        let mut t = Table::new(
+            &format!("E4: lookup-then-maybe-insert, {miss_pct}% insert rate"),
+            &[
+                "threads",
+                "upgrade ops/s",
+                "failed upgrades",
+                "downgrade ops/s",
+                "downgrade failures",
+            ],
+        );
+        for threads in thread_sweep() {
+            let a = lookup_insert_upgrade(threads, iters, miss_pct);
+            let b = lookup_insert_write_downgrade(threads, iters, miss_pct);
+            t.row(&[
+                threads.to_string(),
+                fmt_rate(a.ops_per_sec),
+                a.failed_upgrades.to_string(),
+                fmt_rate(b.ops_per_sec),
+                b.failed_upgrades.to_string(), // structurally zero
+            ]);
+        }
+        t.note("downgrade 'cannot fail and does not require any special logic in the caller'");
+        out.push_str(&t.render());
+    }
+    out
+}

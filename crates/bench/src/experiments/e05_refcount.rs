@@ -1,0 +1,54 @@
+//! E5 — reference counting cost.
+//!
+//! Paper §8: acquiring a reference "requires locking the object (or the
+//! portion containing its reference count)" and "will not block"; Mach
+//! counts under a lock because 1980s C had no portable atomics. The
+//! experiment prices that choice against the modern lock-free
+//! alternative (`Arc`). Expected shape: both are cheap uncontended;
+//! under sharing the locked count serializes and falls behind the
+//! atomic count — the gap is the cost of the 1991 design point on 2020s
+//! hardware.
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::{refcount_churn, refcount_storm, RefImpl};
+
+/// Run E5 and render its tables.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 20_000 } else { 400_000 };
+    let mut out = String::new();
+
+    let mut t = Table::new(
+        "E5a: clone+release on one shared object (ops/s)",
+        &["threads", "lock+count (Mach)", "atomic (Arc)"],
+    );
+    for threads in thread_sweep() {
+        t.row(&[
+            threads.to_string(),
+            fmt_rate(refcount_storm(RefImpl::LockedCount, threads, iters)),
+            fmt_rate(refcount_storm(RefImpl::Arc, threads, iters)),
+        ]);
+    }
+    t.note("Mach increments under the object's simple lock; Arc uses one atomic RMW");
+    out.push_str(&t.render());
+
+    let churn_iters = if quick { 2_000 } else { 40_000 };
+    let mut t = Table::new(
+        "E5b: object churn, create + 4 clones + destroy (objects/s)",
+        &["threads", "lock+count (Mach)", "atomic (Arc)"],
+    );
+    for threads in thread_sweep() {
+        t.row(&[
+            threads.to_string(),
+            fmt_rate(refcount_churn(
+                RefImpl::LockedCount,
+                threads,
+                churn_iters,
+                4,
+            )),
+            fmt_rate(refcount_churn(RefImpl::Arc, threads, churn_iters, 4)),
+        ]);
+    }
+    t.note("creation reference + clones + final destroy at count zero (paper's lifetime protocol)");
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,151 @@
+//! E7 — the three-processor interrupt deadlock, and the discipline
+//! that prevents it.
+//!
+//! Paper §7, verbatim scenario:
+//!
+//! > Processor 1 has the lock with interrupts enabled. Processor 2 has
+//! > disabled interrupts and is attempting to acquire the lock.
+//! > Processor 3 initiates interrupt barrier synchronization.
+//! > Processor 1 takes the interrupt, processor 2 does not. The system
+//! > now deadlocks ...
+//!
+//! The fix: "each lock must always be acquired at the same interrupt
+//! priority level, and held at that level or higher."
+//!
+//! Part A reproduces the deadlock (detected by the simulation's
+//! watchdog deadline). Part B runs the same three processors under the
+//! one-level discipline and the barrier completes.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use machk_core::RawSimpleLock;
+use machk_intr::{barrier_synchronize, spl_raise, spl_restore, BarrierOutcome, Machine, SplLevel};
+
+use crate::util::Table;
+
+/// Run E7 and render its table.
+pub fn run(quick: bool) -> String {
+    let limit = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(800)
+    };
+
+    let inconsistent = scenario(false, limit);
+    let disciplined = scenario(true, limit);
+
+    let mut t = Table::new(
+        "E7: 3-CPU barrier synchronization vs lock/interrupt discipline",
+        &["configuration", "barrier outcome"],
+    );
+    t.row(&[
+        "inconsistent (P1 holds at spl0, P2 spins at splhigh)".into(),
+        format!("{inconsistent:?}"),
+    ]);
+    t.row(&[
+        "disciplined (lock always acquired at splhigh)".into(),
+        format!("{disciplined:?}"),
+    ]);
+    t.note("paper section 7: inconsistent interrupt protection deadlocks barrier synchronization");
+    assert_eq!(inconsistent, BarrierOutcome::Deadlocked);
+    assert_eq!(disciplined, BarrierOutcome::Completed);
+    t.render()
+}
+
+/// Run the three-processor scenario. With `disciplined`, both lock
+/// users acquire at splhigh (IPIs masked only while the lock is held,
+/// and the holder cannot be interrupted mid-hold); without, P1 holds at
+/// spl0 (and takes the barrier IPI *while holding the lock*) while P2
+/// spins masked.
+fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
+    let machine = Arc::new(Machine::new(3));
+    let lock = Arc::new(RawSimpleLock::new());
+    let stage = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicBool::new(false));
+
+    let outcomes = machine.run(|cpu| {
+        match cpu.id() {
+            // ---- Processor 1: the lock holder.
+            0 => {
+                if disciplined {
+                    // Acquire at splhigh; hold briefly; release; lower
+                    // (taking any pending IPI); repeat until the barrier
+                    // is done.
+                    stage.store(1, Ordering::SeqCst);
+                    while !finished.load(Ordering::SeqCst) {
+                        let tok = spl_raise(SplLevel::SplHigh);
+                        lock.lock_raw();
+                        std::hint::black_box(());
+                        lock.unlock_raw();
+                        spl_restore(tok); // delivery point
+                    }
+                } else {
+                    // Acquire at spl0 with interrupts enabled and *stay
+                    // in the critical section*, polling (a real CPU
+                    // takes interrupts whenever they are enabled).
+                    lock.lock_raw();
+                    stage.store(1, Ordering::SeqCst);
+                    while !finished.load(Ordering::SeqCst) {
+                        cpu.poll(); // takes the barrier IPI while holding the lock
+                        core::hint::spin_loop();
+                    }
+                    lock.unlock_raw();
+                }
+                None
+            }
+            // ---- Processor 2: masked acquirer.
+            1 => {
+                while stage.load(Ordering::SeqCst) < 1 {
+                    core::hint::spin_loop();
+                }
+                if disciplined {
+                    // The same raise / acquire / release / restore cycle
+                    // as P1: the lock is only ever taken at splhigh, and
+                    // every restore is an IPI delivery point.
+                    while !finished.load(Ordering::SeqCst) {
+                        let tok = spl_raise(SplLevel::SplHigh);
+                        lock.lock_raw();
+                        lock.unlock_raw();
+                        spl_restore(tok);
+                    }
+                    return None;
+                }
+                let tok = spl_raise(SplLevel::SplHigh);
+                {
+                    // Spins masked for a lock held across the barrier:
+                    // never takes its IPI — the deadlock edge.
+                    loop {
+                        if lock.try_lock_raw() {
+                            lock.unlock_raw();
+                            break;
+                        }
+                        if finished.load(Ordering::SeqCst) {
+                            break; // initiator gave up (watchdog)
+                        }
+                        core::hint::spin_loop();
+                    }
+                }
+                spl_restore(tok);
+                None
+            }
+            // ---- Processor 3: barrier initiator.
+            _ => {
+                while stage.load(Ordering::SeqCst) < 1 {
+                    cpu.poll();
+                    core::hint::spin_loop();
+                }
+                let action: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(|_| {});
+                let outcome = barrier_synchronize(&machine, action, &[], limit);
+                finished.store(true, Ordering::SeqCst);
+                Some(outcome)
+            }
+        }
+    });
+    outcomes
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("initiator outcome")
+}

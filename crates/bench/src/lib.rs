@@ -1,0 +1,22 @@
+//! # machk-bench — the experiment harness
+//!
+//! The source paper ("Locking and Reference Counting in the Mach
+//! Kernel", ICPP 1991) is a design/experience paper with **no tables or
+//! figures**; its claims are qualitative. This crate regenerates those
+//! claims as measurements: experiments **E1–E15** (indexed in
+//! `DESIGN.md`), each implemented as
+//!
+//! * a function in [`experiments`] that runs the workload and returns a
+//!   formatted table (printed by the `experiments` binary), and
+//! * where timing precision matters, a Criterion bench under
+//!   `benches/` driving the same workload functions.
+//!
+//! Workload code shared by both lives in [`workloads`]; thread sweeps,
+//! timing, and table formatting in [`util`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod util;
+pub mod workloads;

@@ -1,0 +1,173 @@
+//! Timing, thread sweeps, and table formatting for the experiments.
+
+use std::time::{Duration, Instant};
+
+/// Thread counts to sweep: 1, 2, 4, … up to at least 4 *concurrent*
+/// threads (capped at 8).
+///
+/// Deliberately not capped at `available_parallelism`: the experiments
+/// measure *coordination* under concurrency, which exists on a 1-CPU
+/// host too (contention there shows as preemption-and-yield rather
+/// than cache-line traffic — EXPERIMENTS.md discusses the difference).
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
+    let mut v = vec![1];
+    while *v.last().unwrap() * 2 <= max {
+        v.push(v.last().unwrap() * 2);
+    }
+    if *v.last().unwrap() != max {
+        v.push(max);
+    }
+    v
+}
+
+/// Run `threads` copies of `work` concurrently (each gets its thread
+/// index) and return the wall-clock duration of the whole batch.
+pub fn run_concurrent<F>(threads: usize, work: F) -> Duration
+where
+    F: Fn(usize) + Sync,
+{
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let work = &work;
+            s.spawn(move || work(t));
+        }
+    });
+    start.elapsed()
+}
+
+/// Throughput in operations per second.
+pub fn ops_per_sec(total_ops: u64, elapsed: Duration) -> f64 {
+    total_ops as f64 / elapsed.as_secs_f64()
+}
+
+/// Human formatting for an ops/s figure (e.g. `12.3M`).
+pub fn fmt_rate(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e9 {
+        format!("{:.2}G", ops_per_sec / 1e9)
+    } else if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+/// A plain-text table builder for experiment output.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// A table titled `title` with the given column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a free-text note shown under the table.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for i in 0..ncols {
+                s.push_str(&format!("{:<w$} ", cells[i], w = widths[i]));
+                s.push_str("| ");
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&line(&sep, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_starts_at_one_and_is_increasing() {
+        let s = thread_sweep();
+        assert_eq!(s[0], 1);
+        assert!(s.windows(2).all(|w| w[0] < w[1]) || s.len() == 1);
+    }
+
+    #[test]
+    fn run_concurrent_runs_all_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let d = run_concurrent(4, |_t| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(1_500.0), "1.5k");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+        assert_eq!(fmt_rate(3_000_000_000.0), "3.00G");
+        assert_eq!(fmt_rate(12.0), "12");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

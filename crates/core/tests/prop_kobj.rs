@@ -1,0 +1,111 @@
+//! Property tests for the integrated kernel-object pattern: arbitrary
+//! interleavings of operations, clones, and termination keep every
+//! invariant of sections 8–9.
+
+use machk_core::{Deactivated, Kobj, ObjRef};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Mutate,
+    Clone,
+    DropOne,
+    Deactivate,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Mutate),
+        2 => Just(Op::Clone),
+        2 => Just(Op::DropOne),
+        1 => Just(Op::Deactivate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kobj_lifecycle_invariants(ops in proptest::collection::vec(arb_op(), 0..96)) {
+        let mut handles: Vec<ObjRef<Kobj<u64>>> = vec![Kobj::create(0u64)];
+        let mut active = true;
+        let mut successful_mutations = 0u64;
+        let mut idx = 13usize;
+        for op in ops {
+            idx = idx.wrapping_mul(37).wrapping_add(5);
+            match op {
+                Op::Mutate => {
+                    let h = &handles[idx % handles.len()];
+                    match h.with_active(|n| *n += 1) {
+                        Ok(()) => {
+                            prop_assert!(active, "mutation succeeded on a dead object");
+                            successful_mutations += 1;
+                        }
+                        Err(Deactivated) => prop_assert!(!active),
+                    }
+                }
+                Op::Clone => {
+                    let src = idx % handles.len();
+                    handles.push(handles[src].clone());
+                }
+                Op::DropOne => {
+                    if handles.len() > 1 {
+                        handles.swap_remove(idx % handles.len());
+                    }
+                }
+                Op::Deactivate => {
+                    let h = &handles[idx % handles.len()];
+                    match h.deactivate() {
+                        Ok(()) => {
+                            prop_assert!(active, "second deactivation succeeded");
+                            active = false;
+                        }
+                        Err(Deactivated) => prop_assert!(!active),
+                    }
+                }
+            }
+            // Structure invariants hold whatever happened:
+            prop_assert_eq!(
+                ObjRef::ref_count(&handles[0]) as usize,
+                handles.len()
+            );
+            prop_assert_eq!(handles[0].is_active(), active);
+            // The state is always readable through with_state and equals
+            // the successful mutation count.
+            prop_assert_eq!(handles[0].with_state(|n| *n), successful_mutations);
+        }
+    }
+
+    #[test]
+    fn concurrent_mutations_and_termination_account_exactly(
+        threads in 1usize..4,
+        per_thread in 1u64..400,
+    ) {
+        let obj = Kobj::create(0u64);
+        let completed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let local = obj.clone();
+                let completed = &completed;
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        if local.with_active(|n| *n += 1).is_ok() {
+                            completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let terminator = obj.clone();
+            s.spawn(move || {
+                std::thread::yield_now();
+                let _ = terminator.deactivate();
+            });
+        });
+        prop_assert_eq!(
+            obj.with_state(|n| *n),
+            completed.load(std::sync::atomic::Ordering::Relaxed),
+            "every successful operation counted exactly once"
+        );
+        prop_assert!(!obj.is_active());
+    }
+}

@@ -1,0 +1,249 @@
+//! Explicit thread queues — the `clear_wait` usage pattern.
+//!
+//! Section 6: "The thread based occurrence routine, `clear_wait`, is
+//! provided to allow users of the event mechanism the option of
+//! tracking blocked threads instead of relying on the event mechanism
+//! to do so. Such an implementation could block threads on event zero
+//! (the null event), from which only a `clear_wait` can awaken them."
+//!
+//! [`ThreadQueue`] is that implementation: waiters enqueue their own
+//! [`ThreadHandle`] and block on [`crate::Event::NULL`]; wakers pop
+//! handles and `clear_wait` them. Because the waker chooses *which*
+//! thread to wake, the queue gives FIFO (or any other) wake order —
+//! something the hashed event table deliberately does not promise.
+
+use machk_sync::{RawSimpleLock, SimpleLocked};
+
+use crate::api::{assert_wait, clear_wait, current_thread, thread_block};
+use crate::record::{ThreadHandle, WaitResult};
+use crate::Event;
+
+/// A FIFO queue of blocked threads, woken explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use machk_event::queue::ThreadQueue;
+/// use machk_sync::SimpleLocked;
+///
+/// let turnstile = ThreadQueue::new();
+/// let gate = SimpleLocked::new(false); // the condition
+///
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         let mut open = gate.lock();
+///         while !*open {
+///             open = turnstile.sleep(open); // releases + relocks
+///         }
+///     });
+///     // Wait until the waiter is queued, then open the gate and wake it.
+///     while turnstile.is_empty() {
+///         std::thread::yield_now();
+///     }
+///     *gate.lock() = true;
+///     turnstile.wake_one();
+/// });
+/// ```
+pub struct ThreadQueue {
+    waiters: SimpleLocked<std::collections::VecDeque<ThreadHandle>>,
+}
+
+impl ThreadQueue {
+    /// An empty queue.
+    pub fn new() -> ThreadQueue {
+        ThreadQueue {
+            waiters: SimpleLocked::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Block the calling thread on the queue, releasing `guard`'s lock
+    /// while blocked and re-locking it before returning (condition-
+    /// variable shape over the null event).
+    pub fn sleep<'a, T>(
+        &self,
+        guard: machk_sync::SimpleLockedGuard<'a, T>,
+    ) -> machk_sync::SimpleLockedGuard<'a, T> {
+        let cell: &'a machk_sync::SimpleLocked<T> = guard.cell();
+        // Declare the wait *before* publishing our handle: a waker that
+        // pops the handle immediately must find the wait asserted, or
+        // its clear_wait would miss (the same lost-wakeup shape the
+        // split protocol exists to prevent).
+        assert_wait(Event::NULL, false);
+        self.waiters.lock().push_back(current_thread());
+        drop(guard);
+        thread_block();
+        cell.lock()
+    }
+
+    /// Raw-lock form of [`ThreadQueue::sleep`]: caller holds `lock`,
+    /// which is released while blocked and re-acquired before return.
+    pub fn sleep_raw(&self, lock: &RawSimpleLock) {
+        assert_wait(Event::NULL, false);
+        self.waiters.lock().push_back(current_thread());
+        lock.unlock_raw();
+        thread_block();
+        lock.lock_raw();
+    }
+
+    /// Wake the longest-waiting thread. Returns `false` if the queue
+    /// was empty. Only a `clear_wait` can wake a null-event waiter, so
+    /// the wake order is exactly the queue order.
+    pub fn wake_one(&self) -> bool {
+        loop {
+            let handle = self.waiters.lock().pop_front();
+            match handle {
+                Some(h) => {
+                    if clear_wait(&h, WaitResult::Awakened) {
+                        return true;
+                    }
+                    // The thread raced out (e.g. woke by timeout and
+                    // left); try the next one.
+                }
+                None => return false,
+            }
+        }
+    }
+
+    /// Wake every queued thread; returns how many were woken.
+    pub fn wake_all(&self) -> usize {
+        let drained: Vec<ThreadHandle> = self.waiters.lock().drain(..).collect();
+        drained
+            .into_iter()
+            .filter(|h| clear_wait(h, WaitResult::Awakened))
+            .count()
+    }
+
+    /// Queued waiters (racy; diagnostics).
+    pub fn len(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// Whether no thread is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ThreadQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for ThreadQueue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ThreadQueue")
+            .field("waiters", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn wake_one_is_fifo() {
+        let q = ThreadQueue::new();
+        let lock = RawSimpleLock::new();
+        let order = SimpleLocked::new(Vec::new());
+        std::thread::scope(|s| {
+            for i in 0..3usize {
+                let (q, lock, order) = (&q, &lock, &order);
+                s.spawn(move || {
+                    lock.lock_raw();
+                    q.sleep_raw(lock);
+                    order.lock().push(i);
+                    lock.unlock_raw();
+                });
+                // Serialize enqueue order.
+                while q.len() < i + 1 {
+                    std::thread::yield_now();
+                }
+            }
+            for expect in 1..=3usize {
+                assert!(q.wake_one());
+                while order.lock().len() < expect {
+                    std::thread::yield_now();
+                }
+            }
+            assert!(!q.wake_one(), "queue drained");
+        });
+        assert_eq!(*order.lock(), vec![0, 1, 2], "FIFO wake order");
+    }
+
+    #[test]
+    fn wake_all_wakes_everyone() {
+        let q = ThreadQueue::new();
+        let lock = RawSimpleLock::new();
+        let woken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (q, lock, woken) = (&q, &lock, &woken);
+                s.spawn(move || {
+                    lock.lock_raw();
+                    q.sleep_raw(lock);
+                    lock.unlock_raw();
+                    woken.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            while q.len() < 4 {
+                std::thread::yield_now();
+            }
+            assert_eq!(q.wake_all(), 4);
+        });
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn guard_sleep_relocks() {
+        let q = ThreadQueue::new();
+        let gate = SimpleLocked::new(false);
+        std::thread::scope(|s| {
+            let (q, gate) = (&q, &gate);
+            s.spawn(move || {
+                let mut g = gate.lock();
+                while !*g {
+                    g = q.sleep(g);
+                }
+                assert!(*g, "relocked and revalidated");
+            });
+            // The gate starts closed, so the waiter must park; wait for
+            // it, then open the gate and wake it.
+            while q.is_empty() {
+                std::thread::yield_now();
+            }
+            *gate.lock() = true;
+            assert!(q.wake_one());
+        });
+    }
+
+    #[test]
+    fn timed_out_waiters_are_skipped() {
+        use crate::api::thread_block_timeout;
+        let q = ThreadQueue::new();
+        // A waiter that gives up via timeout (manually, using the same
+        // enqueue protocol).
+        std::thread::scope(|s| {
+            let q = &q;
+            s.spawn(move || {
+                assert_wait(Event::NULL, false);
+                q.waiters.lock().push_back(current_thread());
+                // Give up quickly.
+                assert_eq!(
+                    thread_block_timeout(Duration::from_millis(5)),
+                    crate::WaitResult::TimedOut
+                );
+            });
+            // Wait for the handle to appear, then for its wait to die.
+            while q.is_empty() {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            // wake_one must skip the stale handle and report empty.
+            assert!(!q.wake_one());
+        });
+    }
+}

@@ -1,0 +1,342 @@
+//! Per-thread wait records.
+//!
+//! Each thread that participates in event waiting owns a [`WaitRecord`]
+//! whose entire wait state — run state, wait result, interruptibility, and
+//! a generation counter — is packed into a single atomic word. Packing
+//! makes the critical transition (a waker moving a thread from *waiting*
+//! to *woken* with a result) one compare-exchange, so a wakeup can never
+//! be applied to the wrong wait: the generation in the expected value
+//! pins *which* `assert_wait` the wakeup belongs to.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+
+/// Why a blocked thread resumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WaitResult {
+    /// The awaited event was declared by `thread_wakeup` (or a
+    /// `clear_wait` with this result).
+    Awakened,
+    /// The wait was interrupted by `clear_wait` (thread-based occurrence
+    /// with the interrupted result). Only possible if the wait was
+    /// asserted interruptible.
+    Interrupted,
+    /// The bounded wait of `thread_block_timeout` expired.
+    TimedOut,
+}
+
+impl WaitResult {
+    fn code(self) -> u64 {
+        match self {
+            WaitResult::Awakened => 0,
+            WaitResult::Interrupted => 1,
+            WaitResult::TimedOut => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> WaitResult {
+        match code {
+            0 => WaitResult::Awakened,
+            1 => WaitResult::Interrupted,
+            _ => WaitResult::TimedOut,
+        }
+    }
+}
+
+// Word layout:  [ generation | interruptible:1 | result:2 | state:2 ]
+const STATE_MASK: u64 = 0b11;
+const STATE_RUNNING: u64 = 0;
+const STATE_WAITING: u64 = 1;
+const STATE_WOKEN: u64 = 2;
+const RESULT_SHIFT: u32 = 2;
+const RESULT_MASK: u64 = 0b11 << RESULT_SHIFT;
+const INTR_BIT: u64 = 1 << 4;
+const GEN_SHIFT: u32 = 5;
+
+#[inline]
+fn state(word: u64) -> u64 {
+    word & STATE_MASK
+}
+
+#[inline]
+fn generation(word: u64) -> u64 {
+    word >> GEN_SHIFT
+}
+
+/// The wait state of one thread.
+///
+/// Obtained through [`crate::current_thread`]; passed to wakers as a
+/// [`ThreadHandle`] for `clear_wait`-style thread-based wakeups.
+pub struct WaitRecord {
+    word: AtomicU64,
+    /// Handle used to unpark the owning thread.
+    thread: Thread,
+}
+
+impl WaitRecord {
+    pub(crate) fn for_current_thread() -> WaitRecord {
+        WaitRecord {
+            word: AtomicU64::new(STATE_RUNNING),
+            thread: std::thread::current(),
+        }
+    }
+
+    /// Declare a wait. Returns the generation that identifies it.
+    ///
+    /// Panics if a wait is already asserted — the "fatal" nested
+    /// `assert_wait` of paper section 8.
+    pub(crate) fn assert_wait(&self, interruptible: bool) -> u64 {
+        let word = self.word.load(Ordering::Relaxed);
+        assert!(
+            state(word) == STATE_RUNNING,
+            "assert_wait while a wait is already asserted: a blocking \
+             operation between assert_wait and thread_block called \
+             assert_wait a second time (paper section 8 calls this fatal)"
+        );
+        let gen = generation(word) + 1;
+        let new = (gen << GEN_SHIFT) | if interruptible { INTR_BIT } else { 0 } | STATE_WAITING;
+        // Only the owning thread moves RUNNING -> WAITING, so a plain
+        // store is safe; Release publishes it to wakers that find this
+        // record in the event table (the table lock also orders it).
+        self.word.store(new, Ordering::Release);
+        gen
+    }
+
+    /// Block until woken; `deadline` bounds the wait.
+    ///
+    /// Called only by the owning thread, after `assert_wait`.
+    pub(crate) fn block(&self, timeout: Option<std::time::Duration>) -> WaitResult {
+        let start = std::time::Instant::now();
+        loop {
+            let word = self.word.load(Ordering::Acquire);
+            match state(word) {
+                STATE_WOKEN => {
+                    let result = WaitResult::from_code((word & RESULT_MASK) >> RESULT_SHIFT);
+                    // Same generation, back to running.
+                    let gen = generation(word);
+                    self.word
+                        .store((gen << GEN_SHIFT) | STATE_RUNNING, Ordering::Relaxed);
+                    return result;
+                }
+                STATE_WAITING => {
+                    match timeout {
+                        None => std::thread::park(),
+                        Some(limit) => {
+                            let elapsed = start.elapsed();
+                            if elapsed >= limit {
+                                // Try to cancel the wait ourselves. A racing
+                                // waker may beat us; then we take its result.
+                                let gen = generation(word);
+                                let expected = word;
+                                let new = (gen << GEN_SHIFT) | STATE_RUNNING;
+                                if self
+                                    .word
+                                    .compare_exchange(
+                                        expected,
+                                        new,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    )
+                                    .is_ok()
+                                {
+                                    return WaitResult::TimedOut;
+                                }
+                                // CAS failed: a waker moved us to WOKEN;
+                                // loop and collect the result.
+                                continue;
+                            }
+                            std::thread::park_timeout(limit - elapsed);
+                        }
+                    }
+                }
+                _ => unreachable!("thread_block called without assert_wait"),
+            }
+        }
+    }
+
+    /// Attempt to wake the wait identified by `gen` with `result`.
+    ///
+    /// Returns `false` if that wait is no longer current (already woken,
+    /// timed out, or superseded by a newer wait) or if `result` is
+    /// `Interrupted` and the wait was asserted non-interruptible.
+    pub(crate) fn wake(&self, gen: u64, result: WaitResult) -> bool {
+        loop {
+            let word = self.word.load(Ordering::Acquire);
+            if generation(word) != gen || state(word) != STATE_WAITING {
+                return false;
+            }
+            if result == WaitResult::Interrupted && word & INTR_BIT == 0 {
+                return false; // non-interruptible wait
+            }
+            let new = (word & !(STATE_MASK | RESULT_MASK))
+                | (result.code() << RESULT_SHIFT)
+                | STATE_WOKEN;
+            match self
+                .word
+                .compare_exchange(word, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.thread.unpark();
+                    return true;
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Wake whatever wait is current, used by `clear_wait` (which names a
+    /// thread, not an event, so it does not know the generation).
+    pub(crate) fn wake_current(&self, result: WaitResult) -> bool {
+        let word = self.word.load(Ordering::Acquire);
+        if state(word) != STATE_WAITING {
+            return false;
+        }
+        self.wake(generation(word), result)
+    }
+
+    /// Whether a wait is currently asserted (racy; assertions/tests only).
+    pub(crate) fn is_waiting(&self) -> bool {
+        state(self.word.load(Ordering::Relaxed)) == STATE_WAITING
+    }
+
+    /// Public form of the is-waiting check for the crate API.
+    pub fn is_waiting_pub(&self) -> bool {
+        state(self.word.load(Ordering::Relaxed)) == STATE_WAITING
+    }
+
+    /// Whether the wait identified by `gen` is still the current asserted
+    /// wait. Used by the event table to recognize stale queue entries.
+    pub(crate) fn is_waiting_gen(&self, gen: u64) -> bool {
+        let word = self.word.load(Ordering::Relaxed);
+        state(word) == STATE_WAITING && generation(word) == gen
+    }
+}
+
+/// A cloneable handle naming a thread for thread-based wakeups
+/// (`clear_wait`), the facility section 6 provides "to allow users of the
+/// event mechanism the option of tracking blocked threads instead of
+/// relying on the event mechanism to do so".
+#[derive(Clone)]
+pub struct ThreadHandle {
+    pub(crate) record: Arc<WaitRecord>,
+}
+
+impl ThreadHandle {
+    /// Whether the thread currently has a wait asserted (racy; for tests
+    /// and diagnostics).
+    pub fn is_waiting(&self) -> bool {
+        self.record.is_waiting()
+    }
+}
+
+impl core::fmt::Debug for ThreadHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ThreadHandle")
+            .field("thread", &self.record.thread.id())
+            .field("waiting", &self.record.is_waiting())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_before_block_converts_block_to_noop() {
+        let rec = WaitRecord::for_current_thread();
+        let gen = rec.assert_wait(true);
+        assert!(rec.wake(gen, WaitResult::Awakened));
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+    }
+
+    #[test]
+    fn stale_generation_wake_fails() {
+        let rec = WaitRecord::for_current_thread();
+        let gen1 = rec.assert_wait(true);
+        assert!(rec.wake(gen1, WaitResult::Awakened));
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+        let _gen2 = rec.assert_wait(true);
+        // A wakeup aimed at the first wait must not land on the second.
+        assert!(!rec.wake(gen1, WaitResult::Awakened));
+        assert!(rec.is_waiting());
+        // Clean up so the test thread isn't left "waiting".
+        assert!(rec.wake_current(WaitResult::Awakened));
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+    }
+
+    #[test]
+    fn double_wake_fails_second_time() {
+        let rec = WaitRecord::for_current_thread();
+        let gen = rec.assert_wait(true);
+        assert!(rec.wake(gen, WaitResult::Awakened));
+        assert!(!rec.wake(gen, WaitResult::Awakened));
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+    }
+
+    #[test]
+    fn non_interruptible_wait_refuses_interrupt() {
+        let rec = WaitRecord::for_current_thread();
+        let gen = rec.assert_wait(false);
+        assert!(!rec.wake(gen, WaitResult::Interrupted));
+        assert!(rec.is_waiting());
+        assert!(rec.wake(gen, WaitResult::Awakened));
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+    }
+
+    #[test]
+    #[should_panic(expected = "fatal")]
+    fn nested_assert_wait_panics() {
+        let rec = WaitRecord::for_current_thread();
+        rec.assert_wait(true);
+        rec.assert_wait(true);
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let rec = WaitRecord::for_current_thread();
+        let _gen = rec.assert_wait(true);
+        let r = rec.block(Some(std::time::Duration::from_millis(10)));
+        assert_eq!(r, WaitResult::TimedOut);
+        assert!(!rec.is_waiting());
+    }
+
+    #[test]
+    fn cross_thread_wake() {
+        let rec = Arc::new(SimpleHolder::new());
+        let rec2 = Arc::clone(&rec);
+        let t = std::thread::spawn(move || rec2.wait_once());
+        // Give the thread time to assert + block, then wake it.
+        while !rec.handle_waiting() {
+            std::thread::yield_now();
+        }
+        rec.wake_it();
+        assert_eq!(t.join().unwrap(), WaitResult::Awakened);
+    }
+
+    /// Helper that owns a record created on the waiting thread.
+    struct SimpleHolder {
+        rec: std::sync::OnceLock<Arc<WaitRecord>>,
+    }
+
+    impl SimpleHolder {
+        fn new() -> Self {
+            SimpleHolder {
+                rec: std::sync::OnceLock::new(),
+            }
+        }
+        fn wait_once(&self) -> WaitResult {
+            let rec = Arc::new(WaitRecord::for_current_thread());
+            self.rec.set(Arc::clone(&rec)).ok().unwrap();
+            rec.assert_wait(true);
+            rec.block(None)
+        }
+        fn handle_waiting(&self) -> bool {
+            self.rec.get().is_some_and(|r| r.is_waiting())
+        }
+        fn wake_it(&self) {
+            assert!(self.rec.get().unwrap().wake_current(WaitResult::Awakened));
+        }
+    }
+}

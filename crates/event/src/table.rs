@@ -1,0 +1,158 @@
+//! The global event table: event → declared waiters.
+//!
+//! Mach hashed events into an array of wait queues, each protected by a
+//! simple lock; we do the same. Insertion (from `assert_wait`) and wakeup
+//! scans hold the bucket's simple lock, which is what makes the
+//! declaration/occurrence pair atomic: a wakeup that takes the bucket lock
+//! after an insertion is guaranteed to see the waiter; one that takes it
+//! before cannot miss a waiter that has not yet declared itself.
+
+use std::sync::Arc;
+
+use machk_sync::SimpleLocked;
+
+use crate::record::{WaitRecord, WaitResult};
+use crate::Event;
+
+/// Number of hash buckets. Power of two for cheap masking; 256 matches
+/// the order of magnitude Mach used for its event hash.
+const BUCKETS: usize = 256;
+
+struct Waiter {
+    event: Event,
+    generation: u64,
+    record: Arc<WaitRecord>,
+}
+
+/// One wait queue.
+type Bucket = SimpleLocked<Vec<Waiter>>;
+
+static TABLE: [Bucket; BUCKETS] = [const { SimpleLocked::new(Vec::new()) }; BUCKETS];
+
+#[inline]
+fn bucket_for(event: Event) -> &'static Bucket {
+    // Fibonacci hashing spreads consecutive addresses across buckets.
+    let h = (event.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &TABLE[(h >> (64 - 8)) as usize % BUCKETS]
+}
+
+/// Record that `record`'s wait `generation` is for `event`.
+///
+/// Called by `assert_wait` *after* the record itself has been moved to the
+/// waiting state; the bucket lock closes the race with wakers.
+pub(crate) fn enqueue(event: Event, generation: u64, record: &Arc<WaitRecord>) {
+    let mut bucket = bucket_for(event).lock();
+    // Lazily drop entries whose waits are long over (timed out or
+    // clear_wait-ed) so stale entries cannot accumulate.
+    bucket.retain(|w| w.record.is_waiting_gen(w.generation));
+    bucket.push(Waiter {
+        event,
+        generation,
+        record: Arc::clone(record),
+    });
+}
+
+/// Declare the occurrence of `event`, waking matching waiters.
+///
+/// `limit` bounds how many waiters are awakened (`usize::MAX` for the
+/// broadcast `thread_wakeup`, 1 for `thread_wakeup_one`). Returns the
+/// number of threads actually awakened.
+pub(crate) fn wakeup(event: Event, limit: usize, result: WaitResult) -> usize {
+    let mut woken = 0usize;
+    let mut bucket = bucket_for(event).lock();
+    bucket.retain(|w| {
+        if woken >= limit || w.event != event {
+            return true;
+        }
+        // Remove the entry whether or not the wake lands: if it does not,
+        // the wait it referred to is already over.
+        if w.record.wake(w.generation, result) {
+            woken += 1;
+        }
+        false
+    });
+    woken
+}
+
+/// Number of declared waiters for `event` (racy; tests/diagnostics only).
+pub(crate) fn waiter_count(event: Event) -> usize {
+    bucket_for(event)
+        .lock()
+        .iter()
+        .filter(|w| w.event == event && w.record.is_waiting_gen(w.generation))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_record() -> Arc<WaitRecord> {
+        Arc::new(WaitRecord::for_current_thread())
+    }
+
+    #[test]
+    fn wakeup_on_empty_event_wakes_nobody() {
+        let ev = Event(0xdead_0001);
+        assert_eq!(wakeup(ev, usize::MAX, WaitResult::Awakened), 0);
+    }
+
+    #[test]
+    fn enqueue_then_wakeup_roundtrip() {
+        let ev = Event(0xdead_0002);
+        let rec = fresh_record();
+        let gen = rec.assert_wait(true);
+        enqueue(ev, gen, &rec);
+        assert_eq!(waiter_count(ev), 1);
+        assert_eq!(wakeup(ev, usize::MAX, WaitResult::Awakened), 1);
+        assert_eq!(waiter_count(ev), 0);
+        // The record was woken; draining the block is immediate.
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+    }
+
+    #[test]
+    fn wakeup_one_leaves_others() {
+        let ev = Event(0xdead_0003);
+        let recs: Vec<_> = (0..3).map(|_| fresh_record()).collect();
+        // Simulate three waiting threads (records owned here for testing;
+        // block() is never called on the extras).
+        for rec in &recs {
+            let gen = rec.assert_wait(true);
+            enqueue(ev, gen, rec);
+        }
+        assert_eq!(wakeup(ev, 1, WaitResult::Awakened), 1);
+        assert_eq!(waiter_count(ev), 2);
+        assert_eq!(wakeup(ev, usize::MAX, WaitResult::Awakened), 2);
+        assert_eq!(waiter_count(ev), 0);
+    }
+
+    #[test]
+    fn wakeup_matches_event_exactly() {
+        let ev_a = Event(0xdead_0004);
+        // Same bucket pressure: an event differing only in low bits may or
+        // may not share the bucket; correctness must not depend on it.
+        let ev_b = Event(0xdead_0005);
+        let rec = fresh_record();
+        let gen = rec.assert_wait(true);
+        enqueue(ev_a, gen, &rec);
+        assert_eq!(wakeup(ev_b, usize::MAX, WaitResult::Awakened), 0);
+        assert_eq!(waiter_count(ev_a), 1);
+        assert_eq!(wakeup(ev_a, usize::MAX, WaitResult::Awakened), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_purged_on_enqueue() {
+        let ev = Event(0xdead_0006);
+        let rec = fresh_record();
+        let gen = rec.assert_wait(true);
+        enqueue(ev, gen, &rec);
+        // The wait ends without a table wakeup (as a timeout would).
+        assert!(rec.wake_current(WaitResult::Awakened));
+        assert_eq!(rec.block(None), WaitResult::Awakened);
+        // Re-assert on the same bucket: the stale entry must be purged.
+        let gen2 = rec.assert_wait(true);
+        enqueue(ev, gen2, &rec);
+        assert_eq!(waiter_count(ev), 1);
+        assert_eq!(wakeup(ev, usize::MAX, WaitResult::Awakened), 1);
+    }
+}

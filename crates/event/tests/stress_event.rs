@@ -1,0 +1,166 @@
+//! Stress and shape tests for the event-wait mechanism beyond the unit
+//! suite: repeated broadcast rounds, mixed one/all wakeups, and the
+//! interaction with `thread_sleep`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use machk_event::{
+    assert_wait, thread_block_timeout, thread_sleep, thread_wakeup, thread_wakeup_one, waiters_on,
+    Event, WaitResult,
+};
+use machk_sync::RawSimpleLock;
+
+fn unique_event() -> Event {
+    static NEXT: AtomicUsize = AtomicUsize::new(0x5000_0000);
+    Event(NEXT.fetch_add(64, Ordering::Relaxed))
+}
+
+#[test]
+fn repeated_broadcast_rounds_wake_everyone() {
+    const WAITERS: usize = 4;
+    const ROUNDS: usize = 50;
+    let ev = unique_event();
+    let total = AtomicUsize::new(0);
+    let round_gate = Barrier::new(WAITERS + 1);
+    std::thread::scope(|s| {
+        for _ in 0..WAITERS {
+            s.spawn(|| {
+                for _ in 0..ROUNDS {
+                    round_gate.wait();
+                    assert_wait(ev, false);
+                    let r = thread_block_timeout(Duration::from_secs(10));
+                    assert_eq!(r, WaitResult::Awakened);
+                    total.fetch_add(1, Ordering::SeqCst);
+                    round_gate.wait();
+                }
+            });
+        }
+        for round in 0..ROUNDS {
+            round_gate.wait(); // everyone enters the round
+                               // Wait until all waiters are declared, then broadcast.
+            while waiters_on(ev) < WAITERS {
+                std::thread::yield_now();
+            }
+            assert_eq!(thread_wakeup(ev), WAITERS, "round {round}");
+            round_gate.wait(); // everyone consumed
+        }
+    });
+    assert_eq!(total.load(Ordering::SeqCst), WAITERS * ROUNDS);
+}
+
+#[test]
+fn wakeup_one_hands_off_in_sequence() {
+    const WAITERS: usize = 4;
+    let ev = unique_event();
+    let woken = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..WAITERS {
+            s.spawn(|| {
+                assert_wait(ev, false);
+                assert_eq!(
+                    thread_block_timeout(Duration::from_secs(10)),
+                    WaitResult::Awakened
+                );
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        while waiters_on(ev) < WAITERS {
+            std::thread::yield_now();
+        }
+        for expect in 1..=WAITERS {
+            assert!(thread_wakeup_one(ev));
+            while woken.load(Ordering::SeqCst) < expect {
+                std::thread::yield_now();
+            }
+            assert_eq!(woken.load(Ordering::SeqCst), expect, "one at a time");
+        }
+        assert!(!thread_wakeup_one(ev), "nobody left");
+    });
+}
+
+#[test]
+fn thread_sleep_protocol_loops_correctly() {
+    // A condition-variable-style consumer implemented exactly with the
+    // paper's thread_sleep: re-lock and re-check after every wakeup.
+    const ITEMS: usize = 200;
+    let lock = RawSimpleLock::new();
+    let mut queue: Vec<u32> = Vec::new();
+    let qp = &mut queue as *mut Vec<u32> as usize;
+    let ev = unique_event();
+    let consumed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let q = qp as *mut Vec<u32>;
+            let mut got = 0;
+            while got < ITEMS {
+                lock.lock_raw();
+                // Re-validate under the lock (section 9 relock rules).
+                let item = unsafe { (*q).pop() };
+                match item {
+                    Some(_) => {
+                        lock.unlock_raw();
+                        got += 1;
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        // thread_sleep releases the lock and blocks.
+                        let _ = thread_sleep(ev, &lock, false);
+                    }
+                }
+            }
+        });
+        let q = qp as *mut Vec<u32>;
+        for i in 0..ITEMS {
+            lock.lock_raw();
+            unsafe { (*q).push(i as u32) };
+            lock.unlock_raw();
+            thread_wakeup(ev);
+            if i % 16 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    assert_eq!(consumed.load(Ordering::SeqCst), ITEMS);
+}
+
+#[test]
+fn interleaved_events_do_not_cross_talk() {
+    // Two disjoint events with concurrent waiters: wakeups on one must
+    // never satisfy the other's waiters.
+    let ev_a = unique_event();
+    let ev_b = unique_event();
+    let a_woken = AtomicUsize::new(0);
+    let b_woken = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                assert_wait(ev_a, false);
+                assert_eq!(
+                    thread_block_timeout(Duration::from_secs(10)),
+                    WaitResult::Awakened
+                );
+                a_woken.fetch_add(1, Ordering::SeqCst);
+            });
+            s.spawn(|| {
+                assert_wait(ev_b, false);
+                assert_eq!(
+                    thread_block_timeout(Duration::from_secs(10)),
+                    WaitResult::Awakened
+                );
+                b_woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        while waiters_on(ev_a) < 2 || waiters_on(ev_b) < 2 {
+            std::thread::yield_now();
+        }
+        assert_eq!(thread_wakeup(ev_a), 2);
+        // Give any (incorrect) cross-talk a chance to show.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b_woken.load(Ordering::SeqCst), 0, "B waiters untouched");
+        assert_eq!(thread_wakeup(ev_b), 2);
+    });
+    assert_eq!(a_woken.load(Ordering::SeqCst), 2);
+    assert_eq!(b_woken.load(Ordering::SeqCst), 2);
+}

@@ -1,0 +1,43 @@
+//! # machk-intr — simulated multiprocessor, interrupts, and spl levels
+//!
+//! Section 7 of "Locking and Reference Counting in the Mach Kernel"
+//! (ICPP 1991) is about the interaction of locks and interrupts. None of
+//! it can be exercised from userspace directly, so this crate builds the
+//! substrate the paper assumes: a simulated multiprocessor whose
+//! "processors" are OS threads bound to [`Cpu`] records, with
+//!
+//! * **interrupt priority levels** (`spl0 < splsoftclock < splnet <
+//!   splvm < splclock < splsched < splhigh`) raised and restored by the
+//!   classic `splXXX`/`splx` calls ([`spl`]);
+//! * **posted interrupts** delivered at *polling points* — a real CPU
+//!   takes interrupts between instructions; the simulation takes them
+//!   wherever code calls [`Cpu::poll`], lowers its spl, or spins through
+//!   the interrupt-aware helpers. An interrupt is deliverable only when
+//!   its level exceeds the CPU's current spl, which is exactly the
+//!   property the paper's deadlock depends on;
+//! * **interrupt-level barrier synchronization** ([`barrier`]) of the
+//!   kind TLB shootdown requires: "all involved processors must enter
+//!   the interrupt service routine before any can leave";
+//! * a **deadline watchdog** ([`watchdog`]) so the paper's deadlocks
+//!   (the three-processor scenario of section 7, experiment E7) can be
+//!   *demonstrated and detected* instead of hanging the process.
+//!
+//! The crate also provides [`spl::SplLock`], a simple lock that checks
+//! the paper's design rule — "each lock must always be acquired at the
+//! same interrupt priority level, and held at that level or higher" —
+//! at runtime.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod cpu;
+pub mod spl;
+pub mod timer;
+pub mod watchdog;
+
+pub use barrier::{barrier_synchronize, BarrierOutcome, IntrBarrier};
+pub use cpu::{current_cpu, current_cpu_id, Cpu, CpuGuard, Machine};
+pub use spl::{spl_current, spl_raise, spl_restore, SplLevel, SplLock, SplToken};
+pub use timer::{LockedTimerBank, TimeKind, TimerBank, UsageSnap};
+pub use watchdog::{run_threads_with_deadline, Deadline, DeadlockDetected};

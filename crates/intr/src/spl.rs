@@ -1,0 +1,299 @@
+//! Interrupt priority levels.
+//!
+//! The level set follows the classic Mach/BSD hierarchy the paper names
+//! ("spl0, splvm, splnet, splclock, etc."). Raising the level masks
+//! interrupts at or below it; restoring the previous level re-enables
+//! them and is a delivery point for anything that arrived meanwhile.
+
+use core::fmt;
+
+use machk_sync::RawSimpleLock;
+
+use crate::cpu::{current_cpu, Cpu};
+
+/// An interrupt priority level. Higher value = more interrupts masked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SplLevel {
+    /// Base level: all interrupts enabled.
+    Spl0 = 0,
+    /// Soft clock interrupts masked.
+    SplSoftClock = 1,
+    /// Network interrupts masked.
+    SplNet = 2,
+    /// VM (device paging) interrupts masked.
+    SplVm = 3,
+    /// Hard clock interrupts masked.
+    SplClock = 4,
+    /// Scheduler level — "the scheduler raises interrupt priority to its
+    /// highest level (blocking all interrupts)" short of IPIs.
+    SplSched = 5,
+    /// All interrupts masked, including the interprocessor interrupt
+    /// used for barrier synchronization.
+    SplHigh = 6,
+}
+
+impl SplLevel {
+    /// All levels in ascending order.
+    pub const ALL: [SplLevel; 7] = [
+        SplLevel::Spl0,
+        SplLevel::SplSoftClock,
+        SplLevel::SplNet,
+        SplLevel::SplVm,
+        SplLevel::SplClock,
+        SplLevel::SplSched,
+        SplLevel::SplHigh,
+    ];
+
+    /// The level of the interprocessor interrupt used for barrier
+    /// synchronization. A CPU at `SplHigh` does not take IPIs — the
+    /// machine-dependent fact at the root of the section-7 deadlock.
+    pub const IPI: SplLevel = SplLevel::SplHigh;
+
+    pub(crate) fn from_u8(v: u8) -> SplLevel {
+        SplLevel::ALL[v as usize]
+    }
+}
+
+impl fmt::Display for SplLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SplLevel::Spl0 => "spl0",
+            SplLevel::SplSoftClock => "splsoftclock",
+            SplLevel::SplNet => "splnet",
+            SplLevel::SplVm => "splvm",
+            SplLevel::SplClock => "splclock",
+            SplLevel::SplSched => "splsched",
+            SplLevel::SplHigh => "splhigh",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Token returned by [`spl_raise`]; restores the previous level when
+/// passed to [`spl_restore`] (the classic `s = splvm(); ...; splx(s)`).
+#[derive(Debug)]
+#[must_use = "the previous spl level must be restored with spl_restore"]
+pub struct SplToken {
+    pub(crate) previous: SplLevel,
+}
+
+/// Raise the current CPU's interrupt priority to at least `level`.
+///
+/// Raising never delivers interrupts. Panics if the calling thread is
+/// not bound to a CPU (see [`Cpu::enter`]).
+pub fn spl_raise(level: SplLevel) -> SplToken {
+    let cpu = current_cpu().expect("spl_raise: thread not bound to a simulated CPU");
+    SplToken {
+        previous: cpu.raise_spl(level),
+    }
+}
+
+/// Restore a previous interrupt priority level (`splx`). Lowering the
+/// level is a delivery point: pending interrupts above the restored
+/// level run before this returns.
+pub fn spl_restore(token: SplToken) {
+    let cpu = current_cpu().expect("spl_restore: thread not bound to a simulated CPU");
+    cpu.set_spl(token.previous);
+    cpu.poll();
+}
+
+/// The current CPU's spl level.
+pub fn spl_current() -> SplLevel {
+    current_cpu()
+        .expect("spl_current: thread not bound to a simulated CPU")
+        .spl()
+}
+
+/// A simple lock that enforces the section-7 design rule: "each lock
+/// must always be acquired at the same interrupt priority level ... and
+/// held at that level or higher".
+///
+/// The first acquisition records the CPU's spl level; every later
+/// acquisition must happen at the same level, or the lock panics with a
+/// diagnosis of the inconsistency that would otherwise deadlock barrier
+/// synchronization. (The check runs only on threads bound to a CPU; the
+/// lock degrades to a plain simple lock elsewhere.)
+pub struct SplLock {
+    lock: RawSimpleLock,
+    /// Level this lock is acquired at; `u8::MAX` = not yet established.
+    level: core::sync::atomic::AtomicU8,
+}
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+const LEVEL_UNSET: u8 = u8::MAX;
+
+impl SplLock {
+    /// A lock whose required spl level is established by its first
+    /// acquisition.
+    pub const fn new() -> Self {
+        SplLock {
+            lock: RawSimpleLock::new(),
+            level: AtomicU8::new(LEVEL_UNSET),
+        }
+    }
+
+    /// A lock whose required spl level is fixed up front.
+    pub const fn at_level(level: SplLevel) -> Self {
+        SplLock {
+            lock: RawSimpleLock::new(),
+            level: AtomicU8::new(level as u8),
+        }
+    }
+
+    fn check_level(&self, cpu: &Cpu) {
+        let cur = cpu.spl() as u8;
+        match self
+            .level
+            .compare_exchange(LEVEL_UNSET, cur, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {}
+            Err(required) => {
+                assert!(
+                    required == cur,
+                    "inconsistent interrupt protection: lock established at {} \
+                     acquired at {} (paper section 7: each lock must always be \
+                     acquired at the same interrupt priority level)",
+                    SplLevel::from_u8(required),
+                    SplLevel::from_u8(cur),
+                );
+            }
+        }
+    }
+
+    /// Acquire, spinning interrupt-aware (the spin loop polls for
+    /// deliverable interrupts, as real hardware would take them between
+    /// test-and-set attempts).
+    pub fn lock(&self) {
+        if let Some(cpu) = current_cpu() {
+            self.check_level(&cpu);
+            let mut spins = 0u32;
+            while !self.lock.try_lock_raw() {
+                // Spinning at low spl still takes interrupts — the
+                // property that lets a disciplined system drain barriers.
+                cpu.poll();
+                core::hint::spin_loop();
+                spins += 1;
+                if spins >= 256 {
+                    // vCPUs are host threads: let a descheduled holder run.
+                    std::thread::yield_now();
+                    spins = 0;
+                }
+            }
+        } else {
+            self.lock.lock_raw();
+        }
+    }
+
+    /// Release.
+    pub fn unlock(&self) {
+        self.lock.unlock_raw();
+    }
+
+    /// Single attempt.
+    #[must_use]
+    pub fn try_lock(&self) -> bool {
+        if let Some(cpu) = current_cpu() {
+            self.check_level(&cpu);
+        }
+        self.lock.try_lock_raw()
+    }
+
+    /// The spl level this lock is bound to, if established.
+    pub fn required_level(&self) -> Option<SplLevel> {
+        let v = self.level.load(Ordering::Relaxed);
+        (v != LEVEL_UNSET).then(|| SplLevel::from_u8(v))
+    }
+
+    /// The underlying raw lock.
+    pub fn raw(&self) -> &RawSimpleLock {
+        &self.lock
+    }
+}
+
+impl Default for SplLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Machine;
+
+    #[test]
+    fn levels_are_ordered() {
+        for w in SplLevel::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(SplLevel::IPI, SplLevel::SplHigh);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SplLevel::SplVm.to_string(), "splvm");
+        assert_eq!(SplLevel::Spl0.to_string(), "spl0");
+    }
+
+    #[test]
+    fn raise_and_restore() {
+        let machine = Machine::new(1);
+        let _g = machine.cpu(0).enter();
+        assert_eq!(spl_current(), SplLevel::Spl0);
+        let t = spl_raise(SplLevel::SplVm);
+        assert_eq!(spl_current(), SplLevel::SplVm);
+        let t2 = spl_raise(SplLevel::SplHigh);
+        assert_eq!(spl_current(), SplLevel::SplHigh);
+        spl_restore(t2);
+        assert_eq!(spl_current(), SplLevel::SplVm);
+        spl_restore(t);
+        assert_eq!(spl_current(), SplLevel::Spl0);
+    }
+
+    #[test]
+    fn raise_to_lower_level_keeps_current() {
+        let machine = Machine::new(1);
+        let _g = machine.cpu(0).enter();
+        let t = spl_raise(SplLevel::SplClock);
+        let t2 = spl_raise(SplLevel::SplNet); // lower: no-op raise
+        assert_eq!(spl_current(), SplLevel::SplClock);
+        spl_restore(t2);
+        spl_restore(t);
+    }
+
+    #[test]
+    fn spl_lock_establishes_level() {
+        let machine = Machine::new(1);
+        let _g = machine.cpu(0).enter();
+        let lock = SplLock::new();
+        assert_eq!(lock.required_level(), None);
+        let t = spl_raise(SplLevel::SplVm);
+        lock.lock();
+        lock.unlock();
+        spl_restore(t);
+        assert_eq!(lock.required_level(), Some(SplLevel::SplVm));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent interrupt protection")]
+    fn spl_lock_detects_inconsistent_level() {
+        let machine = Machine::new(1);
+        let _g = machine.cpu(0).enter();
+        let lock = SplLock::at_level(SplLevel::SplVm);
+        // Acquiring at spl0 violates the one-level rule.
+        lock.lock();
+    }
+
+    #[test]
+    fn spl_lock_plain_off_cpu() {
+        let lock = SplLock::new();
+        lock.lock();
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+        assert_eq!(lock.required_level(), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Deadline-based deadlock detection.
+//!
+//! The paper's section-7 and section-7.1 deadlocks are *real* deadlocks:
+//! reproduced literally they would hang the process. Every spin loop in
+//! the barrier machinery therefore carries a [`Deadline`], and the demos
+//! report [`DeadlockDetected`] instead of hanging. The watchdog is part
+//! of the simulation, not of the reproduced design — Mach had no such
+//! escape hatch, which is why the paper's rules matter.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error reported when a deadline expires while a coordination step is
+/// still incomplete — the simulation's verdict that the configured
+/// scenario deadlocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockDetected {
+    /// How long the watchdog waited.
+    pub waited: Duration,
+}
+
+impl fmt::Display for DeadlockDetected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadlock detected after {:?}", self.waited)
+    }
+}
+
+impl std::error::Error for DeadlockDetected {}
+
+/// A point in time after which spinning code must give up.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now.
+    pub fn after(limit: Duration) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+
+    /// The error describing the expiry.
+    pub fn to_error(&self) -> DeadlockDetected {
+        DeadlockDetected {
+            waited: self.start.elapsed(),
+        }
+    }
+
+    /// Spin until `cond` is true or the deadline expires.
+    pub fn spin_until(&self, mut cond: impl FnMut() -> bool) -> Result<(), DeadlockDetected> {
+        let mut spins = 0u32;
+        while !cond() {
+            if self.expired() {
+                return Err(self.to_error());
+            }
+            core::hint::spin_loop();
+            spins += 1;
+            if spins >= 256 {
+                std::thread::yield_now();
+                spins = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run each closure on its own thread and wait up to `limit` for all of
+/// them to finish.
+///
+/// Returns `Ok(results)` if every thread finished, or
+/// `Err(DeadlockDetected)` if some were still running at the deadline.
+/// Unfinished threads are **leaked** (detached) — the caller is a demo
+/// or test process that exits soon after; a deadlocked kernel thread
+/// cannot be cancelled, in the simulation any more than in Mach.
+pub fn run_threads_with_deadline<R: Send + 'static>(
+    bodies: Vec<Box<dyn FnOnce() -> R + Send>>,
+    limit: Duration,
+) -> Result<Vec<R>, DeadlockDetected> {
+    use std::sync::mpsc;
+    let deadline = Deadline::after(limit);
+    let (tx, rx) = mpsc::channel();
+    let n = bodies.len();
+    for (i, body) in bodies.into_iter().enumerate() {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let r = body();
+            let _ = tx.send((i, r));
+        });
+    }
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut done = 0;
+    while done < n {
+        let remaining = deadline
+            .limit
+            .checked_sub(deadline.start.elapsed())
+            .unwrap_or(Duration::ZERO);
+        match rx.recv_timeout(remaining) {
+            Ok((i, r)) => {
+                slots[i] = Some(r);
+                done += 1;
+            }
+            Err(_) => return Err(deadline.to_error()),
+        }
+    }
+    Ok(slots.into_iter().map(|s| s.unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(d.expired());
+        assert!(d.to_error().waited >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn spin_until_success() {
+        let d = Deadline::after(Duration::from_secs(5));
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&flag);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            f.store(true, Ordering::SeqCst);
+        });
+        assert!(d.spin_until(|| flag.load(Ordering::SeqCst)).is_ok());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn spin_until_deadlock() {
+        let d = Deadline::after(Duration::from_millis(10));
+        assert!(d.spin_until(|| false).is_err());
+    }
+
+    #[test]
+    fn threads_all_finish() {
+        let bodies: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let r = run_threads_with_deadline(bodies, Duration::from_secs(10)).unwrap();
+        assert_eq!(r, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn stuck_thread_detected() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let s = Arc::clone(&stop);
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| ()),
+            Box::new(move || {
+                // "Deadlocked" thread: spins until the test releases it.
+                while !s.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            }),
+        ];
+        let r = run_threads_with_deadline(bodies, Duration::from_millis(50));
+        assert!(r.is_err());
+        stop.store(true, Ordering::SeqCst); // release the leaked thread
+    }
+}

@@ -1,0 +1,135 @@
+//! Stress tests for the simulated multiprocessor: interrupt storms,
+//! repeated barriers, nested spl, and timer interaction.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use machk_intr::{
+    barrier_synchronize, spl_raise, spl_restore, BarrierOutcome, Machine, SplLevel, TimeKind,
+    TimerBank,
+};
+
+#[test]
+fn interrupt_storm_delivers_everything() {
+    let machine = Arc::new(Machine::new(2));
+    const N: usize = 2_000;
+    let delivered = Arc::new(AtomicUsize::new(0));
+    machine.run(|cpu| {
+        if cpu.id() == 0 {
+            // Bombard CPU 1.
+            for i in 0..N {
+                let d = Arc::clone(&delivered);
+                let level = SplLevel::ALL[1 + (i % 5)];
+                machine.cpu(1).post_interrupt(level, move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } else {
+            while delivered.load(Ordering::Relaxed) < N {
+                cpu.poll();
+                std::thread::yield_now();
+            }
+        }
+    });
+    assert_eq!(delivered.load(Ordering::Relaxed), N);
+    assert_eq!(machine.cpu(1).interrupts_taken(), N as u64);
+}
+
+#[test]
+fn repeated_barriers_all_complete() {
+    let machine = Arc::new(Machine::new(3));
+    const ROUNDS: usize = 50;
+    let done = Arc::new(AtomicBool::new(false));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let outcomes = machine.run(|cpu| {
+        if cpu.id() == 0 {
+            let mut completed = 0;
+            for _ in 0..ROUNDS {
+                let ran = Arc::clone(&ran);
+                let action: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(move |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                if barrier_synchronize(&machine, action, &[], Duration::from_secs(30))
+                    == BarrierOutcome::Completed
+                {
+                    completed += 1;
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+            completed
+        } else {
+            while !done.load(Ordering::SeqCst) {
+                cpu.poll();
+                std::thread::yield_now();
+            }
+            0
+        }
+    });
+    assert_eq!(outcomes[0], ROUNDS);
+    assert_eq!(ran.load(Ordering::Relaxed), ROUNDS * 3);
+}
+
+#[test]
+fn nested_spl_sections_restore_exactly() {
+    let machine = Machine::new(1);
+    machine.run(|cpu| {
+        assert_eq!(cpu.spl(), SplLevel::Spl0);
+        let a = spl_raise(SplLevel::SplNet);
+        let b = spl_raise(SplLevel::SplVm);
+        let c = spl_raise(SplLevel::SplHigh);
+        assert_eq!(cpu.spl(), SplLevel::SplHigh);
+        spl_restore(c);
+        assert_eq!(cpu.spl(), SplLevel::SplVm);
+        spl_restore(b);
+        assert_eq!(cpu.spl(), SplLevel::SplNet);
+        spl_restore(a);
+        assert_eq!(cpu.spl(), SplLevel::Spl0);
+    });
+}
+
+#[test]
+fn masked_interrupts_queue_and_drain_in_priority_order() {
+    let machine = Machine::new(1);
+    let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+    machine.run(|cpu| {
+        let tok = spl_raise(SplLevel::SplHigh);
+        for (name, level) in [
+            ("net", SplLevel::SplNet),
+            ("clock", SplLevel::SplClock),
+            ("soft", SplLevel::SplSoftClock),
+            ("sched", SplLevel::SplSched),
+        ] {
+            let order = Arc::clone(&order);
+            cpu.post_interrupt(level, move || order.lock().unwrap().push(name));
+        }
+        assert!(order.lock().unwrap().is_empty(), "all masked");
+        spl_restore(tok); // drains highest-first
+    });
+    assert_eq!(
+        *order.lock().unwrap(),
+        vec!["sched", "clock", "net", "soft"]
+    );
+}
+
+#[test]
+fn timers_tick_under_interrupt_load() {
+    // Clock interrupts drive the usage timers, as in the real kernel.
+    let machine = Arc::new(Machine::new(2));
+    let bank = Arc::new(TimerBank::new(2));
+    const TICKS: usize = 500;
+    machine.run(|cpu| {
+        // Post ourselves clock interrupts and take them; the handler
+        // runs on this CPU, so it is the single writer.
+        for _ in 0..TICKS {
+            let bank = Arc::clone(&bank);
+            cpu.post_interrupt(SplLevel::SplClock, move || {
+                bank.tick_current(TimeKind::System, 10);
+            });
+            cpu.poll();
+        }
+    });
+    let t = bank.totals();
+    assert_eq!(t.ticks, 2 * TICKS as u64);
+    assert_eq!(t.system_us, 2 * TICKS as u64 * 10);
+}

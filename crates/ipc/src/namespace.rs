@@ -1,0 +1,183 @@
+//! Per-task port name spaces.
+//!
+//! User code names ports by small integers; the kernel translates names
+//! to port rights through a per-task table. Translation is one of the
+//! section-8 reference-cloning cases: "executing code performs a name to
+//! object translation. This effectively clones the object reference held
+//! by the name translation data structures."
+
+use std::collections::HashMap;
+
+use machk_core::{ObjRef, SimpleLocked};
+
+use crate::port::Port;
+
+/// A task-local port name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortName(pub u32);
+
+/// The name → right table of one task.
+///
+/// In Mach this table is what the task's second lock (the "ipc
+/// translation" lock of section 5) protects, so that translations and
+/// task operations proceed in parallel; `machk-kernel`'s task object
+/// embeds one `PortNameSpace` per task for exactly that experiment (E8).
+pub struct PortNameSpace {
+    table: SimpleLocked<Table>,
+}
+
+struct Table {
+    map: HashMap<PortName, ObjRef<Port>>,
+    next: u32,
+}
+
+impl PortNameSpace {
+    /// An empty name space.
+    pub fn new() -> PortNameSpace {
+        PortNameSpace {
+            table: SimpleLocked::new(Table {
+                map: HashMap::new(),
+                next: 1, // name 0 reserved as MACH_PORT_NULL
+            }),
+        }
+    }
+
+    /// Insert a right, allocating a fresh name. The table now owns the
+    /// reference.
+    pub fn insert(&self, right: ObjRef<Port>) -> PortName {
+        let mut t = self.table.lock();
+        let name = PortName(t.next);
+        t.next += 1;
+        t.map.insert(name, right);
+        name
+    }
+
+    /// Translate a name to a port right.
+    ///
+    /// The returned right is a *cloned* reference; the table keeps its
+    /// own. Returns `None` for names not in the space (including
+    /// removed ones).
+    pub fn translate(&self, name: PortName) -> Option<ObjRef<Port>> {
+        let t = self.table.lock();
+        t.map.get(&name).cloned()
+    }
+
+    /// Remove a name, returning the right it held so the caller can
+    /// release it outside the table lock.
+    pub fn remove(&self, name: PortName) -> Option<ObjRef<Port>> {
+        let mut t = self.table.lock();
+        t.map.remove(&name)
+    }
+
+    /// Number of live names (diagnostics).
+    pub fn len(&self) -> usize {
+        self.table.lock().map.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove every right, returning them for release outside the lock
+    /// (used by task termination).
+    pub fn drain(&self) -> Vec<ObjRef<Port>> {
+        let mut t = self.table.lock();
+        let rights: Vec<_> = t.map.drain().map(|(_, r)| r).collect();
+        rights
+    }
+}
+
+impl Default for PortNameSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for PortNameSpace {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PortNameSpace")
+            .field("names", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_allocates_distinct_names() {
+        let ns = PortNameSpace::new();
+        let a = ns.insert(Port::create());
+        let b = ns.insert(Port::create());
+        assert_ne!(a, b);
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn translate_clones_reference() {
+        let ns = PortNameSpace::new();
+        let port = Port::create();
+        let name = ns.insert(port.clone());
+        assert_eq!(ObjRef::ref_count(&port), 2, "table holds one");
+        let right = ns.translate(name).expect("name resolves");
+        assert_eq!(ObjRef::ref_count(&port), 3, "translation cloned");
+        assert!(ObjRef::ptr_eq(&right, &port));
+        drop(right);
+        assert_eq!(ObjRef::ref_count(&port), 2);
+    }
+
+    #[test]
+    fn translate_unknown_name_fails() {
+        let ns = PortNameSpace::new();
+        assert!(ns.translate(PortName(42)).is_none());
+        assert!(ns.translate(PortName(0)).is_none(), "null name");
+    }
+
+    #[test]
+    fn remove_returns_the_tables_reference() {
+        let ns = PortNameSpace::new();
+        let port = Port::create();
+        let name = ns.insert(port.clone());
+        let right = ns.remove(name).unwrap();
+        assert_eq!(ObjRef::ref_count(&port), 2);
+        drop(right);
+        assert_eq!(ObjRef::ref_count(&port), 1);
+        assert!(ns.translate(name).is_none(), "name gone after removal");
+    }
+
+    #[test]
+    fn drain_empties_and_returns_rights() {
+        let ns = PortNameSpace::new();
+        let ports: Vec<_> = (0..4).map(|_| Port::create()).collect();
+        for p in &ports {
+            ns.insert(p.clone());
+        }
+        let rights = ns.drain();
+        assert_eq!(rights.len(), 4);
+        assert!(ns.is_empty());
+        drop(rights);
+        for p in &ports {
+            assert_eq!(ObjRef::ref_count(p), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_translation_storm() {
+        let ns = PortNameSpace::new();
+        let port = Port::create();
+        let name = ns.insert(port.clone());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        let r = ns.translate(name).unwrap();
+                        drop(r);
+                    }
+                });
+            }
+        });
+        assert_eq!(ObjRef::ref_count(&port), 2, "all translations released");
+    }
+}

@@ -1,0 +1,494 @@
+//! Ports.
+//!
+//! "A port is a protected communication channel with exactly one
+//! receiver and one or more senders." A port is itself a
+//! reference-counted kernel object (its data structure is protected by
+//! a simple lock and survives while references exist), and — for kernel
+//! objects exported via ports — it holds the counted object pointer
+//! that port-to-object translation clones (section 10).
+
+use std::collections::VecDeque;
+
+use machk_core::{
+    assert_wait, thread_block, thread_block_timeout, thread_wakeup, Deactivated, Event, ObjHeader,
+    ObjRef, Refable, SimpleLocked, WaitResult,
+};
+
+use crate::message::Message;
+
+/// Default bound on queued messages before senders block.
+pub const DEFAULT_QUEUE_LIMIT: usize = 64;
+
+/// Errors from port operations.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum PortError {
+    /// The port has been destroyed (deactivated). Senders and receivers
+    /// see this instead of blocking forever.
+    Dead,
+    /// A bounded receive timed out.
+    TimedOut,
+    /// The port has no kernel object attached (translation disabled or
+    /// never enabled).
+    NotAnObjectPort,
+    /// The port is a member of a port set; its messages must be
+    /// received through the set.
+    InPortSet,
+}
+
+impl core::fmt::Display for PortError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PortError::Dead => f.write_str("port is dead"),
+            PortError::TimedOut => f.write_str("receive timed out"),
+            PortError::NotAnObjectPort => f.write_str("port has no kernel object"),
+            PortError::InPortSet => f.write_str("port is in a port set"),
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
+impl From<Deactivated> for PortError {
+    fn from(_: Deactivated) -> Self {
+        PortError::Dead
+    }
+}
+
+struct PortState {
+    queue: VecDeque<Message>,
+    limit: usize,
+    /// The represented kernel object, if this port exports one.
+    /// "If the abstraction is not a port, then the port data structure
+    /// contains a pointer to the actual object" — with a reference.
+    kernel_object: Option<ObjRef<dyn Refable>>,
+    /// When the port belongs to a port set: the set's wakeup event.
+    /// Receives must then go through the set.
+    pset_event: Option<Event>,
+}
+
+/// A Mach port.
+///
+/// # Examples
+///
+/// ```
+/// use machk_ipc::{Message, Port};
+///
+/// let port = Port::create();
+/// port.send(Message::new(1).with_int(10)).unwrap();
+/// let msg = port.receive().unwrap();
+/// assert_eq!(msg.int_at(0), Some(10));
+/// ```
+pub struct Port {
+    header: ObjHeader,
+    state: SimpleLocked<PortState>,
+}
+
+impl Refable for Port {
+    fn header(&self) -> &ObjHeader {
+        &self.header
+    }
+}
+
+impl Port {
+    /// Create a port with the default queue limit, returning the
+    /// creation reference (conventionally the receive right).
+    pub fn create() -> ObjRef<Port> {
+        Port::create_with_limit(DEFAULT_QUEUE_LIMIT)
+    }
+
+    /// Create a port with an explicit queue limit (≥ 1).
+    pub fn create_with_limit(limit: usize) -> ObjRef<Port> {
+        assert!(limit >= 1, "queue limit must be at least 1");
+        ObjRef::new(Port {
+            header: ObjHeader::new(),
+            state: SimpleLocked::new(PortState {
+                queue: VecDeque::new(),
+                limit,
+                kernel_object: None,
+                pset_event: None,
+            }),
+        })
+    }
+
+    fn recv_event(&self) -> Event {
+        Event::from_addr(self)
+    }
+
+    fn send_event(&self) -> Event {
+        Event::from_addr(self).offset(1)
+    }
+
+    /// Send a message, blocking while the queue is full.
+    pub fn send(&self, msg: Message) -> Result<(), PortError> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                self.header.check_active()?;
+                if s.queue.len() < s.limit {
+                    s.queue.push_back(msg);
+                    let pset = s.pset_event;
+                    drop(s);
+                    thread_wakeup(self.recv_event());
+                    if let Some(ev) = pset {
+                        thread_wakeup(ev);
+                    }
+                    return Ok(());
+                }
+                // Queue full: the split-wait protocol — declare, drop the
+                // lock, block.
+                assert_wait(self.send_event(), false);
+            }
+            // Re-validate everything after relocking (section 9 rules).
+            thread_block();
+        }
+    }
+
+    /// Send without blocking; returns the message back if the queue is
+    /// full.
+    pub fn try_send(&self, msg: Message) -> Result<(), (Message, PortError)> {
+        let mut s = self.state.lock();
+        if !self.header.is_active() {
+            drop(s);
+            return Err((msg, PortError::Dead));
+        }
+        if s.queue.len() >= s.limit {
+            drop(s);
+            return Err((msg, PortError::TimedOut));
+        }
+        s.queue.push_back(msg);
+        let pset = s.pset_event;
+        drop(s);
+        thread_wakeup(self.recv_event());
+        if let Some(ev) = pset {
+            thread_wakeup(ev);
+        }
+        Ok(())
+    }
+
+    /// Receive a message, blocking while the queue is empty.
+    pub fn receive(&self) -> Result<Message, PortError> {
+        loop {
+            {
+                let mut s = self.state.lock();
+                if s.pset_event.is_some() {
+                    return Err(PortError::InPortSet);
+                }
+                if let Some(m) = s.queue.pop_front() {
+                    drop(s);
+                    thread_wakeup(self.send_event());
+                    return Ok(m);
+                }
+                self.header.check_active()?;
+                assert_wait(self.recv_event(), false);
+            }
+            thread_block();
+        }
+    }
+
+    /// Receive with an upper bound on the wait.
+    pub fn receive_timeout(&self, timeout: std::time::Duration) -> Result<Message, PortError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            {
+                let mut s = self.state.lock();
+                if s.pset_event.is_some() {
+                    return Err(PortError::InPortSet);
+                }
+                if let Some(m) = s.queue.pop_front() {
+                    drop(s);
+                    thread_wakeup(self.send_event());
+                    return Ok(m);
+                }
+                self.header.check_active()?;
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(PortError::TimedOut);
+                }
+                assert_wait(self.recv_event(), false);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if thread_block_timeout(remaining) == WaitResult::TimedOut {
+                // One more pass to drain anything that raced in.
+                let mut s = self.state.lock();
+                if let Some(m) = s.queue.pop_front() {
+                    drop(s);
+                    thread_wakeup(self.send_event());
+                    return Ok(m);
+                }
+                return Err(PortError::TimedOut);
+            }
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_receive(&self) -> Result<Message, PortError> {
+        let mut s = self.state.lock();
+        if s.pset_event.is_some() {
+            return Err(PortError::InPortSet);
+        }
+        if let Some(m) = s.queue.pop_front() {
+            drop(s);
+            thread_wakeup(self.send_event());
+            return Ok(m);
+        }
+        self.header.check_active()?;
+        Err(PortError::TimedOut)
+    }
+
+    /// Messages currently queued (racy; diagnostics).
+    pub fn queued(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Join a port set (called by `PortSet::add` with the set lock
+    /// held; lock order is set before port).
+    pub(crate) fn join_set(&self, set_event: Event) -> Result<(), PortError> {
+        let mut s = self.state.lock();
+        self.header.check_active()?;
+        if s.pset_event.is_some() {
+            return Err(PortError::InPortSet);
+        }
+        s.pset_event = Some(set_event);
+        Ok(())
+    }
+
+    /// Leave the port set (called by `PortSet::remove`/`destroy`).
+    pub(crate) fn leave_set(&self) {
+        self.state.lock().pset_event = None;
+    }
+
+    /// Non-blocking dequeue on behalf of the containing port set (the
+    /// set, not the port, refuses direct receives).
+    pub(crate) fn try_receive_for_set(&self) -> Result<Message, PortError> {
+        let mut s = self.state.lock();
+        if let Some(m) = s.queue.pop_front() {
+            drop(s);
+            thread_wakeup(self.send_event());
+            return Ok(m);
+        }
+        self.header.check_active()?;
+        Err(PortError::TimedOut)
+    }
+
+    /// Attach the kernel object this port represents. The port now owns
+    /// the given reference.
+    pub fn set_kernel_object(&self, obj: ObjRef<dyn Refable>) {
+        let mut s = self.state.lock();
+        let old = s.kernel_object.replace(obj);
+        drop(s);
+        // Release any displaced reference outside the lock (the
+        // section-8 release rule).
+        drop(old);
+    }
+
+    /// Port-to-object translation: clone the represented object's
+    /// reference (the step-2 translation of section 10). Fails once the
+    /// pointer has been removed by shutdown.
+    pub fn kernel_object(&self) -> Result<ObjRef<dyn Refable>, PortError> {
+        let s = self.state.lock();
+        match &s.kernel_object {
+            // Cloning takes a reference while the port lock preserves
+            // the pointer — the "indirect reference" protocol.
+            Some(obj) => Ok(obj.clone()),
+            None => Err(PortError::NotAnObjectPort),
+        }
+    }
+
+    /// Shutdown step 2: "lock the corresponding port, remove the object
+    /// pointer and reference from the port, and unlock the port. This
+    /// disables port to object translation." Returns the removed
+    /// reference for the caller to release (outside any lock).
+    pub fn clear_kernel_object(&self) -> Option<ObjRef<dyn Refable>> {
+        let mut s = self.state.lock();
+        s.kernel_object.take()
+    }
+
+    /// Destroy the port: deactivate it and wake all blocked senders and
+    /// receivers (they observe [`PortError::Dead`]). Queued messages are
+    /// drained and dropped (releasing any port rights they carry).
+    pub fn destroy(&self) -> Result<(), PortError> {
+        let drained: Vec<Message> = {
+            // Deactivate under the port lock so no sender that passed the
+            // activity check can enqueue after the drain.
+            let mut s = self.state.lock();
+            self.header.deactivate()?;
+            s.queue.drain(..).collect()
+        };
+        // Dropped outside the lock: messages may carry port rights whose
+        // release could cascade into destruction.
+        drop(drained);
+        thread_wakeup(self.recv_event());
+        thread_wakeup(self.send_event());
+        Ok(())
+    }
+
+    /// Whether the port is still alive.
+    pub fn is_alive(&self) -> bool {
+        self.header.is_active()
+    }
+}
+
+impl core::fmt::Debug for Port {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Port")
+            .field("alive", &self.is_alive())
+            .field("queued", &self.state.lock().queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn send_receive_fifo() {
+        let port = Port::create();
+        for i in 0..10 {
+            port.send(Message::new(i)).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(port.receive().unwrap().id(), i);
+        }
+    }
+
+    #[test]
+    fn receive_blocks_until_send() {
+        let port = Port::create();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| port.receive().unwrap().int_at(0));
+            std::thread::sleep(Duration::from_millis(10));
+            port.send(Message::new(0).with_int(5)).unwrap();
+            assert_eq!(t.join().unwrap(), Some(5));
+        });
+    }
+
+    #[test]
+    fn bounded_queue_blocks_sender() {
+        let port = Port::create_with_limit(2);
+        port.send(Message::new(0)).unwrap();
+        port.send(Message::new(1)).unwrap();
+        let sent_third = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                port.send(Message::new(2)).unwrap();
+                sent_third.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(sent_third.load(Ordering::SeqCst), 0, "sender must block");
+            assert_eq!(port.receive().unwrap().id(), 0);
+            // Space freed: the sender completes.
+            while sent_third.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(port.receive().unwrap().id(), 1);
+        assert_eq!(port.receive().unwrap().id(), 2);
+    }
+
+    #[test]
+    fn try_send_full_returns_message() {
+        let port = Port::create_with_limit(1);
+        port.send(Message::new(0)).unwrap();
+        let (msg, err) = port.try_send(Message::new(1).with_int(9)).unwrap_err();
+        assert_eq!(err, PortError::TimedOut);
+        assert_eq!(msg.int_at(0), Some(9), "message returned intact");
+    }
+
+    #[test]
+    fn receive_timeout_expires() {
+        let port = Port::create();
+        let r = port.receive_timeout(Duration::from_millis(10));
+        assert_eq!(r.unwrap_err(), PortError::TimedOut);
+    }
+
+    #[test]
+    fn destroy_wakes_blocked_receiver() {
+        let port = Port::create();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| port.receive());
+            std::thread::sleep(Duration::from_millis(10));
+            port.destroy().unwrap();
+            assert_eq!(t.join().unwrap().unwrap_err(), PortError::Dead);
+        });
+    }
+
+    #[test]
+    fn destroy_wakes_blocked_sender() {
+        let port = Port::create_with_limit(1);
+        port.send(Message::new(0)).unwrap();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| port.send(Message::new(1)));
+            std::thread::sleep(Duration::from_millis(10));
+            port.destroy().unwrap();
+            assert_eq!(t.join().unwrap().unwrap_err(), PortError::Dead);
+        });
+    }
+
+    #[test]
+    fn dead_port_refuses_operations() {
+        let port = Port::create();
+        port.destroy().unwrap();
+        assert_eq!(port.send(Message::new(0)).unwrap_err(), PortError::Dead);
+        assert_eq!(port.receive().unwrap_err(), PortError::Dead);
+        assert_eq!(port.destroy().unwrap_err(), PortError::Dead);
+        assert!(!port.is_alive());
+    }
+
+    #[test]
+    fn destroy_releases_queued_port_rights() {
+        let inner = Port::create();
+        let port = Port::create();
+        port.send(Message::new(0).with_port_right(inner.clone()))
+            .unwrap();
+        assert_eq!(ObjRef::ref_count(&inner), 2);
+        port.destroy().unwrap();
+        assert_eq!(ObjRef::ref_count(&inner), 1, "queued right released");
+    }
+
+    #[test]
+    fn kernel_object_translation_clones_reference() {
+        use machk_core::Kobj;
+        let task = Kobj::create(0u32);
+        let port = Port::create();
+        port.set_kernel_object(task.clone().into_dyn());
+        assert_eq!(ObjRef::ref_count(&task), 2);
+        let translated = port.kernel_object().unwrap();
+        assert_eq!(ObjRef::ref_count(&task), 3, "translation takes a reference");
+        drop(translated);
+        let removed = port.clear_kernel_object().expect("pointer present");
+        drop(removed);
+        assert_eq!(ObjRef::ref_count(&task), 1);
+        match port.kernel_object() {
+            Err(PortError::NotAnObjectPort) => {} // translation disabled after step 2
+            other => panic!("expected NotAnObjectPort, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 500;
+        let port = Port::create_with_limit(8);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let port = &port;
+                s.spawn(move || {
+                    for i in 0..PER {
+                        port.send(Message::new(0).with_int((p * PER + i) as u64))
+                            .unwrap();
+                    }
+                });
+            }
+            for _ in 0..PRODUCERS * PER {
+                let m = port.receive().unwrap();
+                sum.fetch_add(m.int_at(0).unwrap() as usize, Ordering::Relaxed);
+            }
+        });
+        let n = PRODUCERS * PER;
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for port sets against a membership oracle.
+
+use machk_core::ObjRef;
+use machk_ipc::{Message, Port, PortError, PortSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add { slot: u8 },
+    Remove { slot: u8 },
+    Send { slot: u8, id: u32 },
+    SetReceive,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (0u8..6).prop_map(|slot| Op::Add { slot }),
+        1 => (0u8..6).prop_map(|slot| Op::Remove { slot }),
+        3 => (0u8..6, any::<u32>()).prop_map(|(slot, id)| Op::Send { slot, id }),
+        2 => Just(Op::SetReceive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn portset_membership_and_delivery_match_oracle(
+        ops in proptest::collection::vec(arb_op(), 0..64),
+    ) {
+        let set = PortSet::create();
+        let ports: Vec<ObjRef<Port>> = (0..6).map(|_| Port::create_with_limit(64)).collect();
+        let mut members = [false; 6];
+        // Messages queued on each port (ids in FIFO order).
+        let mut queued: Vec<Vec<u32>> = vec![Vec::new(); 6];
+
+        for op in ops {
+            match op {
+                Op::Add { slot } => {
+                    let r = set.add(ports[slot as usize].clone());
+                    if members[slot as usize] {
+                        prop_assert_eq!(r.unwrap_err(), PortError::InPortSet);
+                    } else {
+                        prop_assert!(r.is_ok());
+                        members[slot as usize] = true;
+                    }
+                }
+                Op::Remove { slot } => {
+                    let removed = set.remove(&ports[slot as usize]);
+                    prop_assert_eq!(removed.is_some(), members[slot as usize]);
+                    members[slot as usize] = false;
+                }
+                Op::Send { slot, id } => {
+                    // Sends work whether or not the port is in a set.
+                    ports[slot as usize].send(Message::new(id)).unwrap();
+                    queued[slot as usize].push(id);
+                }
+                Op::SetReceive => {
+                    let any_member_has_mail =
+                        (0..6).any(|i| members[i] && !queued[i].is_empty());
+                    match set.receive_timeout(std::time::Duration::from_millis(20)) {
+                        Ok((msg, from)) => {
+                            // Must come from a member with queued mail,
+                            // in that port's FIFO order.
+                            let slot = ports
+                                .iter()
+                                .position(|p| ObjRef::ptr_eq(p, &from))
+                                .expect("known port");
+                            prop_assert!(members[slot], "delivered from a non-member");
+                            let expect = queued[slot].remove(0);
+                            prop_assert_eq!(msg.id(), expect, "per-port FIFO violated");
+                        }
+                        Err(PortError::TimedOut) => {
+                            prop_assert!(
+                                !any_member_has_mail,
+                                "timed out with mail available"
+                            );
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+            }
+            // Membership invariant.
+            prop_assert_eq!(set.len(), members.iter().filter(|m| **m).count());
+            // Direct receive always refused for members, allowed for
+            // non-members (when mail exists).
+            for i in 0..6 {
+                if members[i] {
+                    prop_assert_eq!(
+                        ports[i].try_receive().unwrap_err(),
+                        PortError::InPortSet
+                    );
+                } else if !queued[i].is_empty() {
+                    let m = ports[i].try_receive().unwrap();
+                    prop_assert_eq!(m.id(), queued[i].remove(0));
+                }
+            }
+        }
+        set.destroy().unwrap();
+        // After destruction every port is free again.
+        for p in &ports {
+            let s2 = PortSet::create();
+            s2.add(p.clone()).unwrap();
+            s2.destroy().unwrap();
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Run queues at `splsched` — the scheduler's locking discipline.
+//!
+//! Section 7: "Increasing interrupt priority with increasing call depth
+//! is always safe so long as the priority is consistent for each lock.
+//! This is one of the reasons why the scheduler raises interrupt
+//! priority to its highest level (blocking all interrupts)."
+//!
+//! [`RunQueue`] reproduces the discipline: the queue's lock is an
+//! `SplLock` fixed at `splsched`, so every enqueue/dequeue must raise
+//! to that level first (the helpers do), and acquiring it at any other
+//! level panics with the section-7 diagnosis. On threads not bound to
+//! a simulated CPU the lock degrades to a plain simple lock, so the
+//! queue is usable (and tested) in both worlds.
+
+use std::collections::VecDeque;
+
+use machk_core::ObjRef;
+use machk_intr::{current_cpu, spl_raise, spl_restore, SplLevel, SplLock};
+
+use crate::thread::ThreadObj;
+
+/// A priority run queue protected by a lock bound to `splsched`.
+pub struct RunQueue {
+    lock: SplLock,
+    /// Queues by priority band, highest first. Interior mutability is
+    /// managed by `lock` (the pattern simple locks exist for); the
+    /// `UnsafeCell` is private to this module.
+    bands: core::cell::UnsafeCell<Vec<VecDeque<ObjRef<ThreadObj>>>>,
+    nbands: usize,
+}
+
+// Safety: `bands` is only touched while `lock` is held.
+unsafe impl Send for RunQueue {}
+unsafe impl Sync for RunQueue {}
+
+impl RunQueue {
+    /// A run queue with `nbands` priority bands (0 = highest).
+    pub fn new(nbands: usize) -> RunQueue {
+        assert!(nbands >= 1);
+        RunQueue {
+            lock: SplLock::at_level(SplLevel::SplSched),
+            bands: core::cell::UnsafeCell::new((0..nbands).map(|_| VecDeque::new()).collect()),
+            nbands,
+        }
+    }
+
+    /// Run `f` with the queue locked at `splsched` (raising and
+    /// restoring the level around the lock when on a simulated CPU).
+    fn with_queue<R>(&self, f: impl FnOnce(&mut Vec<VecDeque<ObjRef<ThreadObj>>>) -> R) -> R {
+        let on_cpu = current_cpu().is_some();
+        let token = on_cpu.then(|| spl_raise(SplLevel::SplSched));
+        self.lock.lock();
+        // Safety: the lock is held.
+        let r = f(unsafe { &mut *self.bands.get() });
+        self.lock.unlock();
+        if let Some(t) = token {
+            spl_restore(t);
+        }
+        r
+    }
+
+    /// Enqueue a thread at `priority` (clamped to the band count).
+    pub fn enqueue(&self, thread: ObjRef<ThreadObj>, priority: usize) {
+        let band = priority.min(self.nbands - 1);
+        self.with_queue(|bands| bands[band].push_back(thread));
+    }
+
+    /// Dequeue the highest-priority runnable thread.
+    pub fn dequeue(&self) -> Option<ObjRef<ThreadObj>> {
+        self.with_queue(|bands| bands.iter_mut().find_map(|b| b.pop_front()))
+    }
+
+    /// Remove a specific thread wherever it is queued (e.g. it was
+    /// terminated). Returns the queue's reference if found.
+    pub fn remove(&self, thread: &ObjRef<ThreadObj>) -> Option<ObjRef<ThreadObj>> {
+        self.with_queue(|bands| {
+            for band in bands.iter_mut() {
+                if let Some(i) = band.iter().position(|t| ObjRef::ptr_eq(t, thread)) {
+                    return band.remove(i);
+                }
+            }
+            None
+        })
+    }
+
+    /// Total queued threads.
+    pub fn len(&self) -> usize {
+        self.with_queue(|bands| bands.iter().map(|b| b.len()).sum())
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl core::fmt::Debug for RunQueue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RunQueue")
+            .field("bands", &self.nbands)
+            .field("queued", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, TaskRefExt as _};
+    use machk_intr::Machine;
+
+    fn threads(n: usize) -> (ObjRef<Task>, Vec<ObjRef<ThreadObj>>) {
+        let task = Task::create();
+        let ts = (0..n).map(|_| task.thread_create().unwrap()).collect();
+        (task, ts)
+    }
+
+    #[test]
+    fn priority_order_dequeue() {
+        let (task, ts) = threads(3);
+        let rq = RunQueue::new(4);
+        rq.enqueue(ts[0].clone(), 3); // low
+        rq.enqueue(ts[1].clone(), 0); // high
+        rq.enqueue(ts[2].clone(), 1);
+        assert!(ObjRef::ptr_eq(&rq.dequeue().unwrap(), &ts[1]));
+        assert!(ObjRef::ptr_eq(&rq.dequeue().unwrap(), &ts[2]));
+        assert!(ObjRef::ptr_eq(&rq.dequeue().unwrap(), &ts[0]));
+        assert!(rq.dequeue().is_none());
+        task.terminate_simple().unwrap();
+    }
+
+    #[test]
+    fn fifo_within_band() {
+        let (task, ts) = threads(3);
+        let rq = RunQueue::new(2);
+        for t in &ts {
+            rq.enqueue(t.clone(), 1);
+        }
+        for t in &ts {
+            assert!(ObjRef::ptr_eq(&rq.dequeue().unwrap(), t));
+        }
+        task.terminate_simple().unwrap();
+    }
+
+    #[test]
+    fn remove_unlinks_terminated_thread() {
+        let (task, ts) = threads(2);
+        let rq = RunQueue::new(1);
+        rq.enqueue(ts[0].clone(), 0);
+        rq.enqueue(ts[1].clone(), 0);
+        ts[0].terminate().unwrap();
+        let removed = rq.remove(&ts[0]).expect("was queued");
+        drop(removed);
+        assert_eq!(rq.len(), 1);
+        assert!(ObjRef::ptr_eq(&rq.dequeue().unwrap(), &ts[1]));
+        task.terminate_simple().unwrap();
+    }
+
+    #[test]
+    fn on_simulated_cpu_lock_binds_to_splsched() {
+        let machine = Machine::new(1);
+        let (task, ts) = threads(1);
+        let rq = RunQueue::new(2);
+        machine.run(|cpu| {
+            rq.enqueue(ts[0].clone(), 0);
+            // The helper raised and restored splsched around the lock.
+            assert_eq!(cpu.spl(), SplLevel::Spl0);
+            let t = rq.dequeue().unwrap();
+            drop(t);
+        });
+        assert_eq!(
+            rq.lock.required_level(),
+            Some(SplLevel::SplSched),
+            "queue lock established at splsched"
+        );
+        task.terminate_simple().unwrap();
+    }
+
+    #[test]
+    fn concurrent_enqueue_dequeue_conserves() {
+        let (task, ts) = threads(4);
+        let rq = RunQueue::new(4);
+        std::thread::scope(|s| {
+            for (i, t) in ts.iter().enumerate() {
+                let rq = &rq;
+                let t = t.clone();
+                s.spawn(move || {
+                    for k in 0..500 {
+                        rq.enqueue(t.clone(), (i + k) % 4);
+                        // Dequeue *some* thread and drop that reference.
+                        let got = rq.dequeue();
+                        drop(got);
+                    }
+                });
+            }
+        });
+        // Every enqueue matched by one dequeue except what remains.
+        let mut remaining = 0;
+        while rq.dequeue().is_some() {
+            remaining += 1;
+        }
+        assert!(remaining <= 4, "at most one straggler per thread");
+        task.terminate_simple().unwrap();
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the run queue: priority order and conservation
+//! against a reference model.
+
+use std::collections::VecDeque;
+
+use machk_core::ObjRef;
+use machk_kernel::{RunQueue, Task, TaskRefExt as _, ThreadObj};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Enqueue { thread: u8, prio: u8 },
+    Dequeue,
+    Remove { thread: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..4, 0u8..3).prop_map(|(thread, prio)| Op::Enqueue { thread, prio }),
+        2 => Just(Op::Dequeue),
+        1 => (0u8..4).prop_map(|thread| Op::Remove { thread }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn runqueue_matches_model(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let task = Task::create();
+        let threads: Vec<ObjRef<ThreadObj>> =
+            (0..4).map(|_| task.thread_create().unwrap()).collect();
+        let rq = RunQueue::new(3);
+        let mut model: Vec<VecDeque<usize>> = vec![VecDeque::new(); 3];
+
+        for op in ops {
+            match op {
+                Op::Enqueue { thread, prio } => {
+                    rq.enqueue(threads[thread as usize].clone(), prio as usize);
+                    model[prio as usize].push_back(thread as usize);
+                }
+                Op::Dequeue => {
+                    let got = rq.dequeue();
+                    let expect = model.iter_mut().find_map(|b| b.pop_front());
+                    match (got, expect) {
+                        (Some(t), Some(i)) => {
+                            prop_assert!(
+                                ObjRef::ptr_eq(&t, &threads[i]),
+                                "dequeue order diverged from model"
+                            );
+                        }
+                        (None, None) => {}
+                        (got, expect) => prop_assert!(
+                            false,
+                            "presence mismatch: got {:?} expect {:?}",
+                            got.is_some(),
+                            expect
+                        ),
+                    }
+                }
+                Op::Remove { thread } => {
+                    let got = rq.remove(&threads[thread as usize]);
+                    // Model: remove the first queued instance (highest
+                    // band first), matching the implementation's scan.
+                    let mut removed = None;
+                    for band in model.iter_mut() {
+                        if let Some(pos) = band.iter().position(|i| *i == thread as usize) {
+                            removed = band.remove(pos);
+                            break;
+                        }
+                    }
+                    prop_assert_eq!(got.is_some(), removed.is_some());
+                }
+            }
+            prop_assert_eq!(rq.len(), model.iter().map(|b| b.len()).sum::<usize>());
+        }
+        // Drain to keep the task's threads unreferenced by the queue.
+        while rq.dequeue().is_some() {}
+        task.terminate_simple().unwrap();
+    }
+}

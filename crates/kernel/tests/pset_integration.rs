@@ -1,0 +1,101 @@
+//! Processor sets + tasks + threads integration: the
+//! processor-allocation subsystem exercising the same lock/reference
+//! conventions as the rest of the kernel.
+
+use machk_core::ObjRef;
+use machk_kernel::procset::{ProcessorId, ProcessorSet};
+use machk_kernel::{Task, TaskRefExt as _};
+
+#[test]
+fn default_pset_with_task_population() {
+    let pset = ProcessorSet::create();
+    for i in 0..4 {
+        pset.add_processor(ProcessorId(i)).unwrap();
+    }
+    let tasks: Vec<ObjRef<Task>> = (0..8).map(|_| Task::create()).collect();
+    for t in &tasks {
+        pset.assign_task(t.clone()).unwrap();
+        t.thread_create().unwrap();
+    }
+    assert_eq!(pset.task_count(), 8);
+    // Task termination does not implicitly unassign (Mach reassigns to
+    // the default set; here the caller manages it).
+    tasks[0].terminate_simple().unwrap();
+    assert_eq!(pset.task_count(), 8);
+    assert!(pset.unassign_task(&tasks[0]));
+    assert_eq!(pset.task_count(), 7);
+    // Destroying the set releases its references; terminating each task
+    // unlinks its thread (releasing the back reference), leaving exactly
+    // the creator reference.
+    pset.destroy().unwrap();
+    for t in &tasks[1..] {
+        t.terminate_simple().unwrap();
+        assert_eq!(ObjRef::ref_count(t), 1, "set + thread references released");
+    }
+}
+
+#[test]
+fn concurrent_assignment_and_destruction() {
+    // Assigners race a destroyer; every offered reference is either
+    // kept (and then released by destroy) or released on refusal — no
+    // leaks either way.
+    let pset = ProcessorSet::create();
+    let tasks: Vec<ObjRef<Task>> = (0..16).map(|_| Task::create()).collect();
+    std::thread::scope(|s| {
+        for chunk in tasks.chunks(4) {
+            let pset = &pset;
+            s.spawn(move || {
+                for t in chunk {
+                    let _ = pset.assign_task(t.clone());
+                }
+            });
+        }
+        let pset = &pset;
+        s.spawn(move || {
+            std::thread::yield_now();
+            let _ = pset.destroy();
+        });
+    });
+    // However the race resolved, destroy has run and every task is back
+    // to exactly its creator reference.
+    let _ = pset.destroy();
+    for t in &tasks {
+        assert_eq!(ObjRef::ref_count(t), 1, "no leaked assignment references");
+        t.terminate_simple().unwrap();
+    }
+}
+
+#[test]
+fn processor_shuttling_between_live_sets() {
+    let a = ProcessorSet::create();
+    let b = ProcessorSet::create();
+    for i in 0..2 {
+        a.add_processor(ProcessorId(i)).unwrap();
+    }
+    // Tasks ride along on both sets while processors shuttle.
+    let t = Task::create();
+    a.assign_task(t.clone()).unwrap();
+    b.assign_task(t.clone()).unwrap();
+    std::thread::scope(|s| {
+        let (a2, b2) = (&a, &b);
+        s.spawn(move || {
+            for _ in 0..1_000 {
+                let _ = ProcessorSet::reassign_processor(a2, b2, ProcessorId(0));
+                let _ = ProcessorSet::reassign_processor(a2, b2, ProcessorId(1));
+            }
+        });
+        let (a2, b2) = (&a, &b);
+        s.spawn(move || {
+            for _ in 0..1_000 {
+                let _ = ProcessorSet::reassign_processor(b2, a2, ProcessorId(0));
+                let _ = ProcessorSet::reassign_processor(b2, a2, ProcessorId(1));
+            }
+        });
+    });
+    let total = a.processors().len() + b.processors().len();
+    assert_eq!(total, 2, "processors conserved");
+    a.destroy().unwrap();
+    b.destroy().unwrap();
+    assert_eq!(ObjRef::ref_count(&t), 1);
+    t.terminate_simple().unwrap();
+}

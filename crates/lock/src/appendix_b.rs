@@ -1,0 +1,164 @@
+//! The Appendix-B interface, verbatim.
+//!
+//! Mach exposed complex locks to kernel code through free functions over
+//! `lock_t` (a pointer to `lock_data_t`). This module reproduces those
+//! names and semantics over [`ComplexLock`] for call-site fidelity; the
+//! RAII methods on `ComplexLock` are the idiomatic entry points.
+//!
+//! Note the boolean conventions, which follow the appendix exactly:
+//!
+//! * [`lock_read_to_write`] returns `true` when the upgrade **failed**
+//!   (and the read lock has been released);
+//! * the `lock_try_*` routines return `true` on **success**.
+
+use crate::complex::ComplexLock;
+
+/// Storage for a single complex lock — Mach's `lock_data_t`.
+pub type LockData = ComplexLock;
+
+/// The lock argument type expected by all routines in this interface —
+/// Mach's `lock_t` (a pointer to the lock data).
+pub type LockT<'a> = &'a ComplexLock;
+
+/// Initialize a lock; `can_sleep` indicates whether the Sleep option is
+/// desired. Returns the lock data to be stored by the caller (lock users
+/// "must declare and initialize" their own locks).
+pub fn lock_init(can_sleep: bool) -> LockData {
+    ComplexLock::new(can_sleep)
+}
+
+/// Acquire the lock for reading.
+pub fn lock_read(lock: LockT<'_>) {
+    lock.read_raw();
+}
+
+/// Acquire the lock for writing.
+pub fn lock_write(lock: LockT<'_>) {
+    lock.write_raw();
+}
+
+/// Upgrade a read lock to a write lock.
+///
+/// Returns `true` if the upgrade **failed**: "if another upgrade is
+/// pending, this upgrade fails (TRUE is returned) and the read lock is
+/// released."
+#[must_use]
+pub fn lock_read_to_write(lock: LockT<'_>) -> bool {
+    lock.read_to_write_raw()
+}
+
+/// Downgrade a write lock to a read lock. Cannot fail.
+pub fn lock_write_to_read(lock: LockT<'_>) {
+    lock.write_to_read_raw();
+}
+
+/// Release a lock, however it is held.
+pub fn lock_done(lock: LockT<'_>) {
+    lock.done_raw();
+}
+
+/// Attempt to acquire the lock for reading. Never spins or blocks.
+#[must_use]
+pub fn lock_try_read(lock: LockT<'_>) -> bool {
+    lock.try_read_raw()
+}
+
+/// Attempt to acquire the lock for writing. Never spins or blocks;
+/// "returns FALSE if the lock is currently held for writing".
+#[must_use]
+pub fn lock_try_write(lock: LockT<'_>) -> bool {
+    lock.try_write_raw()
+}
+
+/// Attempt to upgrade from reading to writing, without dropping the read
+/// lock on failure. May wait for other readers to drain while obtaining
+/// the upgrade.
+#[must_use]
+pub fn lock_try_read_to_write(lock: LockT<'_>) -> bool {
+    lock.try_read_to_write_raw()
+}
+
+/// Enable or disable the Sleep option.
+pub fn lock_sleepable(lock: LockT<'_>, can_sleep: bool) {
+    lock.set_sleepable(can_sleep);
+}
+
+/// Enable the Recursive option for the current (calling) thread.
+/// The lock must be held for write.
+pub fn lock_set_recursive(lock: LockT<'_>) {
+    lock.set_recursive();
+}
+
+/// Clear the Recursive option for the current (calling) thread. Should be
+/// called by the caller of [`lock_set_recursive`] before releasing the
+/// lock.
+pub fn lock_clear_recursive(lock: LockT<'_>) {
+    lock.clear_recursive();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::HowHeld;
+
+    #[test]
+    fn c_style_read_write_cycle() {
+        let lock = lock_init(true);
+        lock_read(&lock);
+        lock_read(&lock);
+        assert_eq!(lock.how_held(), HowHeld::Read(2));
+        lock_done(&lock);
+        lock_done(&lock);
+        lock_write(&lock);
+        assert_eq!(lock.how_held(), HowHeld::Write);
+        lock_done(&lock);
+        assert_eq!(lock.how_held(), HowHeld::Unheld);
+    }
+
+    #[test]
+    fn c_style_upgrade_and_downgrade() {
+        let lock = lock_init(true);
+        lock_read(&lock);
+        assert!(!lock_read_to_write(&lock), "sole reader upgrade succeeds");
+        lock_write_to_read(&lock);
+        assert_eq!(lock.how_held(), HowHeld::Read(1));
+        lock_done(&lock);
+    }
+
+    #[test]
+    fn c_style_try_routines() {
+        let lock = lock_init(true);
+        assert!(lock_try_write(&lock));
+        assert!(!lock_try_read(&lock));
+        assert!(!lock_try_write(&lock));
+        lock_done(&lock);
+        assert!(lock_try_read(&lock));
+        assert!(lock_try_read(&lock));
+        assert!(!lock_try_write(&lock));
+        lock_done(&lock);
+        assert!(lock_try_read_to_write(&lock));
+        assert_eq!(lock.how_held(), HowHeld::Write);
+        lock_done(&lock);
+    }
+
+    #[test]
+    fn c_style_recursion() {
+        let lock = lock_init(true);
+        lock_write(&lock);
+        lock_set_recursive(&lock);
+        lock_write(&lock);
+        lock_done(&lock);
+        lock_clear_recursive(&lock);
+        lock_done(&lock);
+        assert_eq!(lock.how_held(), HowHeld::Unheld);
+    }
+
+    #[test]
+    fn c_style_sleepable_toggle() {
+        let lock = lock_init(false);
+        lock_sleepable(&lock, true);
+        assert!(lock.is_sleepable());
+        lock_sleepable(&lock, false);
+        assert!(!lock.is_sleepable());
+    }
+}

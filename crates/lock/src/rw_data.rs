@@ -1,0 +1,323 @@
+//! A data-carrying complex lock.
+//!
+//! [`RwData<T>`] applies the paper's "lock data structures in preference
+//! to code" philosophy to complex locks, the way
+//! [`machk_sync::SimpleLocked`] does for simple locks: the protected data
+//! is reachable only through read or write guards, so the reader/writer
+//! discipline is compiler-checked.
+//!
+//! The Recursive option is deliberately **not** exposed here: recursive
+//! write acquisition would alias `&mut T`. (Section 7.1's conclusion that
+//! recursive locking is a misfeature is, in Rust, a soundness
+//! requirement.) Protocols needing recursion use the raw [`ComplexLock`].
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+use crate::complex::{ComplexLock, UpgradeFailed};
+
+/// Data protected by a Mach complex lock (readers/writer, writers
+/// priority).
+///
+/// # Examples
+///
+/// ```
+/// use machk_lock::RwData;
+///
+/// let table = RwData::new(vec![1, 2, 3], true);
+/// assert_eq!(table.read().len(), 3);
+/// table.write().push(4);
+/// assert_eq!(table.read().len(), 4);
+///
+/// // Lookup-then-insert via write-then-downgrade (the paper's
+/// // recommended alternative to upgrades):
+/// let w = table.write();
+/// let r = w.downgrade();
+/// assert_eq!(*r.last().unwrap(), 4);
+/// ```
+pub struct RwData<T: ?Sized> {
+    lock: ComplexLock,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the complex lock serializes writers and excludes writers during
+// reads. T must be Send for the usual reasons; Sync for readers on
+// multiple threads is implied by the lock discipline over &T requiring
+// T: Send + Sync.
+unsafe impl<T: ?Sized + Send> Send for RwData<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwData<T> {}
+
+impl<T> RwData<T> {
+    /// Wrap `data`; `can_sleep` selects the Sleep option.
+    pub const fn new(data: T, can_sleep: bool) -> Self {
+        RwData {
+            lock: ComplexLock::new(can_sleep),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Consume the wrapper, returning the data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwData<T> {
+    /// Acquire for reading.
+    pub fn read(&self) -> RwReadGuard<'_, T> {
+        self.lock.read_raw();
+        RwReadGuard {
+            cell: self,
+            _not_send: core::marker::PhantomData,
+        }
+    }
+
+    /// Acquire for writing.
+    pub fn write(&self) -> RwWriteGuard<'_, T> {
+        self.lock.write_raw();
+        RwWriteGuard {
+            cell: self,
+            _not_send: core::marker::PhantomData,
+        }
+    }
+
+    /// Single attempt to acquire for reading.
+    pub fn try_read(&self) -> Option<RwReadGuard<'_, T>> {
+        self.lock.try_read_raw().then(|| RwReadGuard {
+            cell: self,
+            _not_send: core::marker::PhantomData,
+        })
+    }
+
+    /// Single attempt to acquire for writing.
+    pub fn try_write(&self) -> Option<RwWriteGuard<'_, T>> {
+        self.lock.try_write_raw().then(|| RwWriteGuard {
+            cell: self,
+            _not_send: core::marker::PhantomData,
+        })
+    }
+
+    /// Access without locking through an exclusive borrow.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// The underlying lock (for diagnostics such as
+    /// [`ComplexLock::how_held`]).
+    pub fn lock_ref(&self) -> &ComplexLock {
+        &self.lock
+    }
+}
+
+impl<T: Default> Default for RwData<T> {
+    fn default() -> Self {
+        RwData::new(T::default(), true)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwData<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwData").field("data", &&*g).finish(),
+            None => f
+                .debug_struct("RwData")
+                .field("data", &"<write locked>")
+                .finish(),
+        }
+    }
+}
+
+/// Shared (read) access to the data of an [`RwData<T>`].
+pub struct RwReadGuard<'a, T: ?Sized> {
+    cell: &'a RwData<T>,
+    _not_send: core::marker::PhantomData<*mut ()>,
+}
+
+impl<'a, T: ?Sized> RwReadGuard<'a, T> {
+    /// Attempt the read → write upgrade. On failure the read lock is
+    /// released and the caller must restart (see
+    /// [`crate::complex::ReadGuard::upgrade`]).
+    pub fn upgrade(self) -> Result<RwWriteGuard<'a, T>, UpgradeFailed> {
+        let cell = self.cell;
+        core::mem::forget(self);
+        if cell.lock.read_to_write_raw() {
+            Err(UpgradeFailed)
+        } else {
+            Ok(RwWriteGuard {
+                cell,
+                _not_send: core::marker::PhantomData,
+            })
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: read hold excludes writers.
+        unsafe { &*self.cell.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.cell.lock.done_raw();
+    }
+}
+
+/// Exclusive (write) access to the data of an [`RwData<T>`].
+pub struct RwWriteGuard<'a, T: ?Sized> {
+    cell: &'a RwData<T>,
+    _not_send: core::marker::PhantomData<*mut ()>,
+}
+
+impl<'a, T: ?Sized> RwWriteGuard<'a, T> {
+    /// Downgrade to a read hold without any window where the lock is
+    /// unheld. Cannot fail.
+    pub fn downgrade(self) -> RwReadGuard<'a, T> {
+        let cell = self.cell;
+        core::mem::forget(self);
+        cell.lock.write_to_read_raw();
+        RwReadGuard {
+            cell,
+            _not_send: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: write hold is exclusive.
+        unsafe { &*self.cell.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: write hold is exclusive; &mut self prevents aliasing.
+        unsafe { &mut *self.cell.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.cell.lock.done_raw();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn read_write_basics() {
+        let cell = RwData::new(10u64, true);
+        assert_eq!(*cell.read(), 10);
+        *cell.write() += 5;
+        assert_eq!(*cell.read(), 15);
+        assert_eq!(cell.into_inner(), 15);
+    }
+
+    #[test]
+    fn many_concurrent_readers_one_writer() {
+        let cell = RwData::new((0u64, 0u64), true);
+        let checks = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        let mut w = cell.write();
+                        w.0 += 1;
+                        w.1 += 1;
+                    }
+                });
+            }
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        let r = cell.read();
+                        assert_eq!(r.0, r.1);
+                        checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let r = cell.read();
+        assert_eq!((r.0, r.1), (4_000, 4_000));
+        assert_eq!(checks.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn upgrade_path_lookup_then_insert() {
+        // The paper's upgrade idiom with recovery logic for failure.
+        let cell = RwData::new(Vec::<u32>::new(), true);
+        let inserted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _t in 0..4 {
+                s.spawn(|| {
+                    loop {
+                        let r = cell.read();
+                        if r.contains(&42) {
+                            return; // someone inserted it
+                        }
+                        match r.upgrade() {
+                            Ok(mut w) => {
+                                if !w.contains(&42) {
+                                    w.push(42);
+                                    inserted.fetch_add(1, Ordering::SeqCst);
+                                }
+                                return;
+                            }
+                            // Failed upgrade: read lock lost, restart the
+                            // whole lookup (the recovery logic).
+                            Err(UpgradeFailed) => continue,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(inserted.load(Ordering::SeqCst), 1);
+        assert_eq!(cell.read().len(), 1);
+    }
+
+    #[test]
+    fn downgrade_holds_continuously() {
+        let cell = RwData::new(0u32, true);
+        let w = cell.write();
+        let r = w.downgrade();
+        assert_eq!(*r, 0);
+        // Other readers can join.
+        let r2 = cell.try_read().unwrap();
+        assert_eq!(*r2, 0);
+    }
+
+    #[test]
+    fn try_variants() {
+        let cell = RwData::new(1u8, true);
+        let w = cell.try_write().unwrap();
+        assert!(cell.try_read().is_none());
+        drop(w);
+        let r = cell.try_read().unwrap();
+        assert!(cell.try_write().is_none());
+        drop(r);
+    }
+
+    #[test]
+    fn get_mut_without_locking() {
+        let mut cell = RwData::new(5u8, false);
+        *cell.get_mut() = 6;
+        assert_eq!(*cell.read(), 6);
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let cell = RwData::new(3u8, true);
+        assert!(format!("{cell:?}").contains('3'));
+        let w = cell.write();
+        assert!(format!("{cell:?}").contains("write locked"));
+        drop(w);
+    }
+}

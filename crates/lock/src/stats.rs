@@ -1,0 +1,225 @@
+//! Complex-lock statistics.
+//!
+//! Appendix A notes that lock storage is structured "to allow the
+//! simple addition of debugging and statistics information"; Mach
+//! kernels built with lock statistics counted acquisitions and sleeps
+//! per lock. [`InstrumentedComplexLock`] provides that instrumentation
+//! as a wrapper, leaving the production lock's paths untouched.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::complex::ComplexLock;
+
+/// Counters for one instrumented complex lock.
+#[derive(Debug, Default)]
+pub struct ComplexLockStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    upgrades_ok: AtomicU64,
+    upgrades_failed: AtomicU64,
+    downgrades: AtomicU64,
+    try_failures: AtomicU64,
+}
+
+/// Point-in-time copy of [`ComplexLockStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComplexStatsSnapshot {
+    /// Read acquisitions.
+    pub reads: u64,
+    /// Write acquisitions.
+    pub writes: u64,
+    /// Upgrades that succeeded.
+    pub upgrades_ok: u64,
+    /// Upgrades that failed (read lock lost — the §7.1 recovery case).
+    pub upgrades_failed: u64,
+    /// Write→read downgrades.
+    pub downgrades: u64,
+    /// Failed try-acquisitions.
+    pub try_failures: u64,
+}
+
+impl ComplexStatsSnapshot {
+    /// Fraction of upgrade attempts that failed — the number behind the
+    /// paper's verdict that upgrades "require recovery logic in the
+    /// caller".
+    pub fn upgrade_failure_rate(&self) -> f64 {
+        let total = self.upgrades_ok + self.upgrades_failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.upgrades_failed as f64 / total as f64
+        }
+    }
+}
+
+/// A complex lock bundled with statistics counters. Exposes the raw
+/// (Appendix-B-shaped) operations; every call is counted.
+pub struct InstrumentedComplexLock {
+    lock: ComplexLock,
+    stats: ComplexLockStats,
+}
+
+impl InstrumentedComplexLock {
+    /// New instrumented lock; `can_sleep` selects the Sleep option.
+    pub const fn new(can_sleep: bool) -> Self {
+        InstrumentedComplexLock {
+            lock: ComplexLock::new(can_sleep),
+            stats: ComplexLockStats {
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                upgrades_ok: AtomicU64::new(0),
+                upgrades_failed: AtomicU64::new(0),
+                downgrades: AtomicU64::new(0),
+                try_failures: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Counted `lock_read`.
+    pub fn read_raw(&self) {
+        self.lock.read_raw();
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counted `lock_write`.
+    pub fn write_raw(&self) {
+        self.lock.write_raw();
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counted `lock_read_to_write`; returns `true` on failure, as the
+    /// appendix specifies.
+    #[must_use]
+    pub fn read_to_write_raw(&self) -> bool {
+        let failed = self.lock.read_to_write_raw();
+        if failed {
+            self.stats.upgrades_failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.upgrades_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        failed
+    }
+
+    /// Counted `lock_write_to_read`.
+    pub fn write_to_read_raw(&self) {
+        self.lock.write_to_read_raw();
+        self.stats.downgrades.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counted `lock_try_read`.
+    #[must_use]
+    pub fn try_read_raw(&self) -> bool {
+        let ok = self.lock.try_read_raw();
+        if ok {
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.try_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Counted `lock_try_write`.
+    #[must_use]
+    pub fn try_write_raw(&self) -> bool {
+        let ok = self.lock.try_write_raw();
+        if ok {
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.try_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// `lock_done`.
+    pub fn done_raw(&self) {
+        self.lock.done_raw();
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> ComplexStatsSnapshot {
+        ComplexStatsSnapshot {
+            reads: self.stats.reads.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            upgrades_ok: self.stats.upgrades_ok.load(Ordering::Relaxed),
+            upgrades_failed: self.stats.upgrades_failed.load(Ordering::Relaxed),
+            downgrades: self.stats.downgrades.load(Ordering::Relaxed),
+            try_failures: self.stats.try_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The wrapped lock.
+    pub fn inner(&self) -> &ComplexLock {
+        &self.lock
+    }
+}
+
+impl core::fmt::Debug for InstrumentedComplexLock {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("InstrumentedComplexLock")
+            .field("held", &self.lock.how_held())
+            .field("stats", &self.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_operations() {
+        let lock = InstrumentedComplexLock::new(true);
+        lock.read_raw();
+        lock.done_raw();
+        lock.write_raw();
+        lock.write_to_read_raw();
+        lock.done_raw();
+        lock.read_raw();
+        assert!(!lock.read_to_write_raw(), "sole-reader upgrade succeeds");
+        lock.done_raw();
+        let s = lock.snapshot();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.downgrades, 1);
+        assert_eq!(s.upgrades_ok, 1);
+        assert_eq!(s.upgrades_failed, 0);
+        assert_eq!(s.upgrade_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn failed_upgrades_counted() {
+        // Force the contended-upgrade failure deterministically: two
+        // read holds, the loser upgrades second.
+        let lock = InstrumentedComplexLock::new(true);
+        lock.read_raw();
+        lock.read_raw();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| {
+                assert!(!lock.read_to_write_raw(), "first upgrade wins");
+                lock.done_raw();
+            });
+            while lock.inner().how_held() != crate::HowHeld::Upgrading {
+                std::thread::yield_now();
+            }
+            // Second upgrade: must fail and release our read hold.
+            assert!(lock.read_to_write_raw(), "second upgrade fails");
+            t.join().unwrap();
+        });
+        let s = lock.snapshot();
+        assert_eq!(s.upgrades_ok, 1);
+        assert_eq!(s.upgrades_failed, 1);
+        assert_eq!(s.upgrade_failure_rate(), 0.5);
+        assert_eq!(lock.inner().how_held(), crate::HowHeld::Unheld);
+    }
+
+    #[test]
+    fn try_failures_counted() {
+        let lock = InstrumentedComplexLock::new(true);
+        lock.write_raw();
+        assert!(!lock.try_read_raw());
+        assert!(!lock.try_write_raw());
+        lock.done_raw();
+        let s = lock.snapshot();
+        assert_eq!(s.try_failures, 2);
+    }
+}

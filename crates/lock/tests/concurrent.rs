@@ -1,0 +1,122 @@
+//! Concurrency invariants of the complex lock beyond the unit suite:
+//! sampled exclusion, downgrade storms, and mixed-mode conservation.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use machk_lock::{ComplexLock, RwData};
+
+/// Readers and writers maintain an invariant pair; a sampling thread
+/// watches `how_held` for impossible states.
+#[test]
+fn no_impossible_lock_states_observed() {
+    use machk_lock::HowHeld;
+    let lock = ComplexLock::new(true);
+    let stop = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    lock.read_raw();
+                    std::hint::black_box(());
+                    lock.done_raw();
+                }
+            });
+            s.spawn(|| {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    lock.write_raw();
+                    std::hint::black_box(());
+                    lock.done_raw();
+                }
+            });
+        }
+        s.spawn(|| {
+            for _ in 0..20_000 {
+                match lock.how_held() {
+                    HowHeld::Unheld | HowHeld::Write | HowHeld::Upgrading => {}
+                    HowHeld::Read(n) => assert!(n <= 4, "more readers than reader threads"),
+                }
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+    });
+}
+
+/// Write-then-downgrade chains transfer a balance invariant without a
+/// gap: a reader arriving right after the downgrade must see the new
+/// value (the downgrade holds the lock continuously).
+#[test]
+fn downgrade_has_no_unlocked_window() {
+    let cell = RwData::new(0i64, true);
+    let seen_stale = AtomicI64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 1..=2_000i64 {
+                let mut w = cell.write();
+                *w = i;
+                // Continuous downgrade: no writer/unheld gap.
+                let r = w.downgrade();
+                assert_eq!(*r, i);
+            }
+        });
+        s.spawn(|| {
+            let mut last = 0i64;
+            for _ in 0..2_000 {
+                let r = cell.read();
+                // Monotone: we can never observe a regression.
+                if *r < last {
+                    seen_stale.fetch_add(1, Ordering::Relaxed);
+                }
+                last = *r;
+            }
+        });
+    });
+    assert_eq!(seen_stale.load(Ordering::Relaxed), 0);
+}
+
+/// A storm of upgrades with the paper's retry recovery always
+/// converges: every thread eventually performs its insert exactly once.
+#[test]
+fn upgrade_retry_recovery_converges() {
+    const THREADS: usize = 4;
+    let set = RwData::new(std::collections::HashSet::<usize>::new(), true);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let set = &set;
+            s.spawn(move || {
+                loop {
+                    let r = set.read();
+                    if r.contains(&t) {
+                        break;
+                    }
+                    match r.upgrade() {
+                        Ok(mut w) => {
+                            w.insert(t);
+                            break;
+                        }
+                        Err(_) => continue, // recovery: restart the lookup
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(set.read().len(), THREADS);
+}
+
+/// Raw-API recursion depth balances across nested self-calls.
+#[test]
+fn recursion_depth_balances_across_nested_calls() {
+    fn recurse(lock: &ComplexLock, depth: u32) {
+        lock.write_raw(); // recursive acquisition beyond the first
+        if depth > 0 {
+            recurse(lock, depth - 1);
+        }
+        lock.done_raw();
+    }
+    let lock = ComplexLock::new(true);
+    lock.write_raw();
+    lock.set_recursive();
+    recurse(&lock, 8);
+    lock.clear_recursive();
+    lock.done_raw();
+    assert_eq!(lock.how_held(), machk_lock::HowHeld::Unheld);
+}

@@ -1,0 +1,159 @@
+//! Model-based property test for the complex lock.
+//!
+//! Generates random *legal* single-threaded sequences of Appendix-B
+//! operations, tracks what the state must be in a tiny reference model,
+//! and checks `how_held` (and the try-routines' answers) against it
+//! after every step. Legality matters: an illegal sequence would
+//! deadlock the calling thread (that is kernel-faithful behaviour, not
+//! a bug), so the generator only emits operations the model says cannot
+//! block indefinitely.
+
+use machk_lock::{ComplexLock, HowHeld};
+use proptest::prelude::*;
+
+/// What the single test thread currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Model {
+    Unheld,
+    /// We hold `n` read acquisitions.
+    Read(u32),
+    Write,
+}
+
+/// An operation the single thread may attempt.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read,
+    Write,
+    Done,
+    UpgradeSole, // legal only when Read(1)
+    Downgrade,   // legal only when Write
+    TryRead,
+    TryWrite,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Read),
+        Just(Op::Write),
+        Just(Op::Done),
+        Just(Op::UpgradeSole),
+        Just(Op::Downgrade),
+        Just(Op::TryRead),
+        Just(Op::TryWrite),
+    ]
+}
+
+fn expected_how_held(m: Model) -> HowHeld {
+    match m {
+        Model::Unheld => HowHeld::Unheld,
+        Model::Read(n) => HowHeld::Read(n),
+        Model::Write => HowHeld::Write,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn complex_lock_matches_model(ops in proptest::collection::vec(arb_op(), 1..64)) {
+        let lock = ComplexLock::new(true);
+        let mut model = Model::Unheld;
+        for op in ops {
+            match (op, model) {
+                // Blocking read is legal unless we hold the write lock
+                // (a writer re-reading would deadlock on itself).
+                (Op::Read, Model::Unheld) => {
+                    lock.read_raw();
+                    model = Model::Read(1);
+                }
+                (Op::Read, Model::Read(n)) => {
+                    lock.read_raw();
+                    model = Model::Read(n + 1);
+                }
+                // Blocking write is legal only from unheld.
+                (Op::Write, Model::Unheld) => {
+                    lock.write_raw();
+                    model = Model::Write;
+                }
+                // Done releases one hold.
+                (Op::Done, Model::Read(1)) => {
+                    lock.done_raw();
+                    model = Model::Unheld;
+                }
+                (Op::Done, Model::Read(n)) if n > 1 => {
+                    lock.done_raw();
+                    model = Model::Read(n - 1);
+                }
+                (Op::Done, Model::Write) => {
+                    lock.done_raw();
+                    model = Model::Unheld;
+                }
+                // Upgrade from a sole read hold always succeeds (no
+                // competing upgrade can exist single-threaded).
+                (Op::UpgradeSole, Model::Read(1)) => {
+                    let failed = lock.read_to_write_raw();
+                    prop_assert!(!failed, "sole-reader upgrade must succeed");
+                    model = Model::Write;
+                }
+                // Downgrade never fails.
+                (Op::Downgrade, Model::Write) => {
+                    lock.write_to_read_raw();
+                    model = Model::Read(1);
+                }
+                // Try-reads succeed unless a writer (us) holds it.
+                (Op::TryRead, Model::Unheld) => {
+                    prop_assert!(lock.try_read_raw());
+                    model = Model::Read(1);
+                }
+                (Op::TryRead, Model::Read(n)) => {
+                    prop_assert!(lock.try_read_raw());
+                    model = Model::Read(n + 1);
+                }
+                (Op::TryRead, Model::Write) => {
+                    prop_assert!(!lock.try_read_raw(), "try_read under writer must fail");
+                }
+                // Try-writes succeed only from unheld.
+                (Op::TryWrite, Model::Unheld) => {
+                    prop_assert!(lock.try_write_raw());
+                    model = Model::Write;
+                }
+                (Op::TryWrite, Model::Read(_)) | (Op::TryWrite, Model::Write) => {
+                    prop_assert!(!lock.try_write_raw(), "try_write while held must fail");
+                }
+                // Everything else would block against ourselves: skip
+                // (the generator emits it, the model filters it).
+                _ => {}
+            }
+            prop_assert_eq!(lock.how_held(), expected_how_held(model));
+        }
+        // Drain whatever is held so the lock ends clean.
+        loop {
+            match model {
+                Model::Unheld => break,
+                Model::Read(n) => {
+                    lock.done_raw();
+                    model = if n == 1 { Model::Unheld } else { Model::Read(n - 1) };
+                }
+                Model::Write => {
+                    lock.done_raw();
+                    model = Model::Unheld;
+                }
+            }
+        }
+        prop_assert_eq!(lock.how_held(), HowHeld::Unheld);
+    }
+
+    #[test]
+    fn sleep_option_toggle_never_corrupts(can_sleep in any::<bool>(), toggles in proptest::collection::vec(any::<bool>(), 0..16)) {
+        let lock = ComplexLock::new(can_sleep);
+        for t in toggles {
+            lock.set_sleepable(t);
+            prop_assert_eq!(lock.is_sleepable(), t);
+            lock.read_raw();
+            prop_assert_eq!(lock.how_held(), HowHeld::Read(1));
+            lock.done_raw();
+        }
+        prop_assert_eq!(lock.how_held(), HowHeld::Unheld);
+    }
+}

@@ -1,0 +1,63 @@
+//! # machk-refcount — Mach reference counting and deactivation
+//!
+//! Sections 8–10 of "Locking and Reference Counting in the Mach Kernel"
+//! (ICPP 1991) describe the existence-coordination half of the Mach
+//! design. This crate reproduces it as a framework the kernel substrates
+//! (`machk-ipc`, `machk-kernel`, `machk-vm`) build on.
+//!
+//! ## The model (section 8)
+//!
+//! A *reference* "is used to guarantee the existence of an object's data
+//! structure" — nothing more: "it is possible for an object to be
+//! terminated, but its data structure to remain while pointers to it
+//! exist." References are counted in a field of the data structure;
+//! acquiring one increments the count under the object's lock ("or the
+//! portion containing its reference count"), releasing one decrements it,
+//! and the object is destroyed when the count reaches zero.
+//!
+//! * An object is **created with a single reference** to itself, owned by
+//!   the creator ([`ObjRef::new`]).
+//! * References are **cloned** by locking the object and incrementing the
+//!   count ([`ObjRef::clone`]); the existing reference is what keeps the
+//!   structure alive while the lock is taken.
+//! * **Acquiring** a reference never blocks, so it may be done while
+//!   holding other locks. **Releasing** one may destroy the object, which
+//!   may block — so it may *not* be done while holding any non-sleep
+//!   lock, "nor between an `assert_wait()` operation and the
+//!   corresponding `thread_block()`". Debug builds check both rules on
+//!   every release.
+//!
+//! ## Deactivation (section 9)
+//!
+//! Objects that are *actively terminated* (tasks, threads, ports) carry a
+//! deactivated flag in their header. The rules reproduced by
+//! [`header::ObjHeader`] and checked by the substrates:
+//!
+//! * an operation that depends on the object being active must re-check
+//!   the flag every time it relocks the object;
+//! * pointers out of an object cannot be cached across an unlock/relock;
+//! * a reference is required in order to relock the object at all;
+//! * operations on a deactivated object fail cleanly with
+//!   [`Deactivated`].
+//!
+//! ## Hybrid counts (section 8)
+//!
+//! Memory objects carry "two independent reference counts, a reference
+//! count for the data structure and a reference count for paging
+//! operations in progress. The latter count is a hybrid of a reference
+//! and a lock because it excludes operations such as object termination
+//! that cannot be performed while paging is in progress."
+//! [`DrainableCount`] is that hybrid, generically: a count that
+//! operations hold while in flight and that exclusive operations can
+//! wait to drain.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod count;
+pub mod header;
+pub mod objref;
+
+pub use count::{DrainableCount, LockedRefCount};
+pub use header::{Deactivated, ObjHeader};
+pub use objref::{ObjRef, Refable};

@@ -1,0 +1,77 @@
+//! # machk-sync — Mach simple locks
+//!
+//! This crate implements the *simple lock* layer of the Mach kernel as
+//! described in "Locking and Reference Counting in the Mach Kernel"
+//! (Black, Tevanian, Golub, Young; ICPP 1991), section 4 and Appendix A.
+//!
+//! A simple lock is a spinning (non-blocking) mutual-exclusion lock. In Mach
+//! it is the *only* machine-dependent piece of the locking subsystem: complex
+//! locks, reference counts, and every kernel locking protocol are built on
+//! top of it. The paper's Appendix A fixes its interface:
+//!
+//! * storage is declared with `decl_simple_lock_data(class, name)` and holds
+//!   a C `int` inside a structure (to allow debugging fields to be added);
+//! * `simple_lock_init` initializes to the unlocked state;
+//! * `simple_lock` spins until the lock is acquired;
+//! * `simple_unlock` releases it;
+//! * `simple_lock_try` makes a single attempt and reports success.
+//!
+//! The same interface is reproduced here ([`simple`] module and the
+//! [`decl_simple_lock_data!`] macro), over a safe Rust core ([`RawSimpleLock`]).
+//! Idiomatic code should prefer the RAII forms: [`RawSimpleLock::lock`]
+//! returning a guard, or the data-carrying [`SimpleLocked<T>`].
+//!
+//! ## Acquisition policies (paper section 2)
+//!
+//! The paper discusses how caches change test-and-set acquisition:
+//!
+//! * **TAS** — spin directly on the atomic test-and-set. Every attempt is a
+//!   write, so an unavailable lock generates continuous coherence traffic.
+//! * **TTAS** — *test and test-and-set*: loop on an ordinary load until the
+//!   lock looks free, only then attempt the atomic operation. Spinning stays
+//!   in the local cache.
+//! * **TAS-then-TTAS** — use test-and-set for the *first* attempt, resorting
+//!   to TTAS only if it fails, on the assumption that "most locks in a well
+//!   designed system are acquired on the first attempt".
+//!
+//! All three are available as [`SpinPolicy`] values, optionally combined with
+//! bounded exponential backoff ([`Backoff`]); experiment **E1** in the
+//! repository benchmark suite contrasts them.
+//!
+//! ## Usage rules carried over from the paper
+//!
+//! * Simple locks may not be held across blocking operations or context
+//!   switches (Appendix A). Debug builds track the number of simple locks the
+//!   current thread holds ([`held::simple_locks_held`]); the event-wait crate
+//!   asserts it is zero before blocking.
+//! * Each lock should always be acquired at a single interrupt priority
+//!   level (section 7); the `machk-intr` crate enforces this for code running
+//!   on its simulated CPUs.
+//!
+//! ## Uniprocessor compile-out
+//!
+//! Mach compiles simple locks out of uniprocessor kernels; the Appendix-A
+//! macros exist precisely to make that possible. Enabling this crate's
+//! `uniprocessor` feature turns the free-function interface
+//! (`simple_lock` / `simple_unlock` / `simple_lock_try`) into no-ops, exactly
+//! as the `decl_simple_lock_data` / `simple_lock_addr` machinery allowed in C.
+//! The RAII interfaces keep real locking under either feature (Rust cannot
+//! soundly hand out exclusive access to data otherwise).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod held;
+pub mod policy;
+pub mod raw;
+pub mod seq;
+pub mod simple;
+pub mod simple_locked;
+pub mod stats;
+
+pub use policy::{Backoff, SpinPolicy};
+pub use raw::{RawSimpleLock, SimpleGuard};
+pub use seq::{SeqCell, SeqWriter};
+pub use simple::{simple_lock, simple_lock_init, simple_lock_try, simple_unlock};
+pub use simple_locked::{SimpleLocked, SimpleLockedGuard};
+pub use stats::{InstrumentedSimpleLock, LockStats, StatsSnapshot};

@@ -1,0 +1,254 @@
+//! Spin acquisition policies for simple locks.
+//!
+//! The paper (section 2) describes three ways to acquire a test-and-set
+//! lock on a machine with caches, reproduced here as [`SpinPolicy`]
+//! variants, plus an orthogonal bounded exponential [`Backoff`].
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+/// How a simple lock spins while the lock is unavailable.
+///
+/// See the crate-level documentation for the cache-behaviour rationale the
+/// paper gives for each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SpinPolicy {
+    /// Spin directly on the atomic test-and-set operation.
+    ///
+    /// Every failed attempt performs a write, so contended spinning
+    /// continuously invalidates the lock's cache line on other processors.
+    /// The paper notes this is acceptable only when the test-and-set does
+    /// not itself miss the cache.
+    Tas,
+    /// Test and test-and-set: loop on an ordinary load until the lock
+    /// appears free, and only then attempt the atomic operation.
+    ///
+    /// "This avoids cache misses while the lock is not available."
+    Ttas,
+    /// Use the atomic test-and-set for the first attempt, resorting to
+    /// [`SpinPolicy::Ttas`] only if the first attempt fails.
+    ///
+    /// "This assumes that most locks in a well designed system are acquired
+    /// on the first attempt." This is the default policy, as it was Mach's
+    /// refined choice.
+    #[default]
+    TasThenTtas,
+}
+
+impl SpinPolicy {
+    /// All policies, in presentation order — convenient for benchmark sweeps.
+    pub const ALL: [SpinPolicy; 3] = [SpinPolicy::Tas, SpinPolicy::Ttas, SpinPolicy::TasThenTtas];
+
+    /// Short human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpinPolicy::Tas => "tas",
+            SpinPolicy::Ttas => "ttas",
+            SpinPolicy::TasThenTtas => "tas+ttas",
+        }
+    }
+}
+
+/// Bounded exponential backoff between lock attempts.
+///
+/// Backoff is not described in the paper (1991 hardware rarely needed it)
+/// but is the standard modern companion to TTAS spinning; experiment E1
+/// measures it as an ablation. `Backoff::NONE` disables it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// Initial number of spin-loop hints issued after a failed attempt.
+    /// Zero disables backoff entirely.
+    pub initial: u32,
+    /// Upper bound on the per-round hint count after doubling.
+    pub max: u32,
+}
+
+impl Backoff {
+    /// No backoff: retry immediately (with a single spin-loop hint).
+    pub const NONE: Backoff = Backoff { initial: 0, max: 0 };
+
+    /// A mild default: 4 hints doubling up to 256.
+    pub const DEFAULT: Backoff = Backoff {
+        initial: 4,
+        max: 256,
+    };
+
+    /// Whether this configuration performs any backoff at all.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        self.initial != 0
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::NONE
+    }
+}
+
+/// State values stored in the lock word.
+pub(crate) const UNLOCKED: u32 = 0;
+pub(crate) const LOCKED: u32 = 1;
+
+/// One full blocking acquisition of `word` under `policy` + `backoff`.
+///
+/// Returns the number of failed attempts (0 means first-try success),
+/// which the instrumented wrapper uses for contention statistics.
+#[inline]
+pub(crate) fn acquire(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) -> u64 {
+    // First attempt: TAS-flavoured policies go straight to the atomic op;
+    // pure TTAS tests first even on the first attempt.
+    match policy {
+        SpinPolicy::Tas | SpinPolicy::TasThenTtas => {
+            if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
+                return 0;
+            }
+        }
+        SpinPolicy::Ttas => {
+            if word.load(Ordering::Relaxed) == UNLOCKED
+                && word.swap(LOCKED, Ordering::Acquire) == UNLOCKED
+            {
+                return 0;
+            }
+        }
+    }
+    acquire_slow(word, policy, backoff)
+}
+
+/// Bound on consecutive local spins before yielding the host thread.
+///
+/// Mach's simple locks spin unconditionally because the holder is, by
+/// construction, *running on another processor*. In this reproduction
+/// the "processors" are OS threads that may be preempted while holding
+/// a lock — on an oversubscribed (or single-CPU) host an unbounded spin
+/// would then burn a full scheduler quantum per acquisition. Yielding
+/// after a bounded spin is the standard virtualization adaptation; it
+/// leaves short-contention behaviour (what the paper's TAS/TTAS
+/// discussion is about) untouched.
+const SPIN_YIELD_LIMIT: u32 = 256;
+
+/// Contended path, kept out of line so the uncontended path stays small.
+#[cold]
+fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) -> u64 {
+    let mut failures: u64 = 1;
+    let mut pause = backoff.initial;
+    loop {
+        match policy {
+            SpinPolicy::Tas => {
+                // Spin on the atomic operation itself.
+                if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
+                    return failures;
+                }
+                if failures.is_multiple_of(SPIN_YIELD_LIMIT as u64) {
+                    std::thread::yield_now();
+                }
+            }
+            SpinPolicy::Ttas | SpinPolicy::TasThenTtas => {
+                // Spin locally until the lock looks free...
+                let mut spins = 0u32;
+                while word.load(Ordering::Relaxed) != UNLOCKED {
+                    core::hint::spin_loop();
+                    spins += 1;
+                    if spins >= SPIN_YIELD_LIMIT {
+                        // The holder may be descheduled: let it run.
+                        std::thread::yield_now();
+                        spins = 0;
+                    }
+                }
+                // ...then make the atomic attempt.
+                if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
+                    return failures;
+                }
+            }
+        }
+        failures += 1;
+        if backoff.enabled() {
+            for _ in 0..pause {
+                core::hint::spin_loop();
+            }
+            pause = (pause * 2).min(backoff.max);
+        } else {
+            core::hint::spin_loop();
+        }
+    }
+}
+
+/// A single acquisition attempt, shared by all policies
+/// (`simple_lock_try` semantics).
+#[inline]
+pub(crate) fn try_acquire(word: &AtomicU32) -> bool {
+    // An unconditional swap is the literal test-and-set; use
+    // compare_exchange to avoid dirtying the line when the lock is held.
+    word.compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Release a lock word.
+#[inline]
+pub(crate) fn release(word: &AtomicU32) {
+    word.store(UNLOCKED, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let mut names: Vec<_> = SpinPolicy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn default_policy_is_tas_then_ttas() {
+        assert_eq!(SpinPolicy::default(), SpinPolicy::TasThenTtas);
+    }
+
+    #[test]
+    fn backoff_none_is_disabled() {
+        assert!(!Backoff::NONE.enabled());
+        assert!(Backoff::DEFAULT.enabled());
+    }
+
+    #[test]
+    fn acquire_uncontended_reports_zero_failures() {
+        for policy in SpinPolicy::ALL {
+            let word = AtomicU32::new(UNLOCKED);
+            assert_eq!(acquire(&word, policy, Backoff::NONE), 0);
+            assert_eq!(word.load(Ordering::Relaxed), LOCKED);
+            release(&word);
+            assert_eq!(word.load(Ordering::Relaxed), UNLOCKED);
+        }
+    }
+
+    #[test]
+    fn try_acquire_fails_on_held_lock() {
+        let word = AtomicU32::new(UNLOCKED);
+        assert!(try_acquire(&word));
+        assert!(!try_acquire(&word));
+        release(&word);
+        assert!(try_acquire(&word));
+    }
+
+    #[test]
+    fn contended_acquire_eventually_succeeds() {
+        use std::sync::atomic::AtomicU64;
+        for policy in SpinPolicy::ALL {
+            let word = AtomicU32::new(UNLOCKED);
+            let counter = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..1000 {
+                            acquire(&word, policy, Backoff::DEFAULT);
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            release(&word);
+                        }
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 4000);
+        }
+    }
+}

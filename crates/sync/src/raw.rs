@@ -1,0 +1,371 @@
+//! The core simple-lock type.
+//!
+//! [`RawSimpleLock`] is the Rust equivalent of Mach's
+//! `struct slock { int lock_data; }`: a lock with no associated data,
+//! protecting whatever the surrounding protocol says it protects. The paper
+//! stresses that Mach's locking subsystem "implements lock manipulation
+//! routines ... but does not control allocation of lock data structures";
+//! this type preserves that property — embed it wherever a lock is needed.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU32, Ordering};
+
+use crate::held;
+use crate::policy::{self, Backoff, SpinPolicy};
+
+/// A Mach simple lock: a spinning, non-blocking mutual exclusion lock.
+///
+/// The lock word is a single `AtomicU32` (the paper: "a C integer has been
+/// sufficient on all architectures we have encountered to date"). The
+/// acquisition policy and backoff are per-lock configuration so that
+/// experiment E1 can compare them; production users should take the
+/// defaults via [`RawSimpleLock::new`].
+///
+/// # Usage rules (from the paper, Appendix A)
+///
+/// * Simple locks may not be held during blocking operations or context
+///   switches. Debug builds count held simple locks per thread and the
+///   event-wait layer asserts the count is zero before blocking.
+/// * A holder must not re-acquire a lock it already holds (immediate
+///   self-deadlock). Debug builds detect this and panic with a clear
+///   message instead of hanging.
+///
+/// # Examples
+///
+/// ```
+/// use machk_sync::RawSimpleLock;
+///
+/// let lock = RawSimpleLock::new();
+/// {
+///     let _guard = lock.lock();
+///     // critical section
+/// } // released here
+/// assert!(!lock.is_locked());
+/// ```
+pub struct RawSimpleLock {
+    word: AtomicU32,
+    policy: SpinPolicy,
+    backoff: Backoff,
+    /// Debug-only: `ThreadId` hash of the holder, to catch self-deadlock.
+    #[cfg(debug_assertions)]
+    holder: AtomicU32,
+}
+
+impl RawSimpleLock {
+    /// Create an unlocked simple lock with the default policy
+    /// (TAS-then-TTAS, no backoff) — Mach's refined acquisition sequence.
+    pub const fn new() -> Self {
+        Self::with_policy(SpinPolicy::TasThenTtas, Backoff::NONE)
+    }
+
+    /// Create an unlocked simple lock with an explicit spin policy.
+    pub const fn with_policy(policy: SpinPolicy, backoff: Backoff) -> Self {
+        RawSimpleLock {
+            word: AtomicU32::new(policy::UNLOCKED),
+            policy,
+            backoff,
+            #[cfg(debug_assertions)]
+            holder: AtomicU32::new(0),
+        }
+    }
+
+    /// Re-initialize to the unlocked state.
+    ///
+    /// Mirrors `simple_lock_init`; the paper notes it "is used only for
+    /// initialization, not for unlocking a locked lock", so debug builds
+    /// panic if the lock is currently held.
+    pub fn init(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                !self.is_locked(),
+                "simple_lock_init on a held lock (init is not unlock)"
+            );
+        }
+        policy::release(&self.word);
+    }
+
+    /// Spin until the lock is acquired; returns a guard that releases it
+    /// on drop.
+    #[inline]
+    pub fn lock(&self) -> SimpleGuard<'_> {
+        self.lock_raw();
+        SimpleGuard {
+            lock: self,
+            _not_send: core::marker::PhantomData,
+        }
+    }
+
+    /// Spin until the lock is acquired, without a guard.
+    ///
+    /// The caller takes responsibility for calling [`unlock_raw`]
+    /// (this mirrors the C interface; the RAII [`lock`] form is preferred).
+    ///
+    /// [`unlock_raw`]: RawSimpleLock::unlock_raw
+    /// [`lock`]: RawSimpleLock::lock
+    #[inline]
+    pub fn lock_raw(&self) {
+        self.debug_check_not_holder();
+        policy::acquire(&self.word, self.policy, self.backoff);
+        self.debug_set_holder();
+        held::on_acquire();
+    }
+
+    /// Release the lock without a guard. Pairs with [`RawSimpleLock::lock_raw`].
+    ///
+    /// Debug builds panic if the calling thread is not the holder.
+    #[inline]
+    pub fn unlock_raw(&self) {
+        self.debug_clear_holder();
+        held::on_release();
+        policy::release(&self.word);
+    }
+
+    /// Make a single attempt to acquire the lock.
+    ///
+    /// Returns a guard on success, `None` on failure. This is the
+    /// `simple_lock_try` of Appendix A: "useful for attempting to acquire a
+    /// lock in situations where the unconditional acquisition of the lock
+    /// could cause deadlock" (see the backout protocol in the pmap module
+    /// of `machk-vm`).
+    #[inline]
+    pub fn try_lock(&self) -> Option<SimpleGuard<'_>> {
+        if self.try_lock_raw() {
+            Some(SimpleGuard {
+                lock: self,
+                _not_send: core::marker::PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Guard-free form of [`RawSimpleLock::try_lock`].
+    #[inline]
+    pub fn try_lock_raw(&self) -> bool {
+        if policy::try_acquire(&self.word) {
+            self.debug_set_holder();
+            held::on_acquire();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the lock is currently held (by anyone).
+    ///
+    /// Inherently racy; useful for assertions and statistics only.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) == policy::LOCKED
+    }
+
+    /// The acquisition policy this lock was created with.
+    pub fn policy(&self) -> SpinPolicy {
+        self.policy
+    }
+
+    /// Acquire while reporting the number of failed attempts
+    /// (support for [`crate::InstrumentedSimpleLock`]).
+    pub(crate) fn acquire_counting(&self) -> u64 {
+        self.debug_check_not_holder();
+        let failures = policy::acquire(&self.word, self.policy, self.backoff);
+        self.debug_set_holder();
+        held::on_acquire();
+        failures
+    }
+
+    /// Construct a guard for a lock the caller has already acquired via
+    /// [`RawSimpleLock::acquire_counting`].
+    pub(crate) fn guard_for_held(&self) -> SimpleGuard<'_> {
+        SimpleGuard {
+            lock: self,
+            _not_send: core::marker::PhantomData,
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn debug_check_not_holder(&self) {
+        if self.is_locked() && self.holder.load(Ordering::Relaxed) == held::thread_tag() {
+            panic!(
+                "simple lock self-deadlock: thread already holds this lock \
+                 (simple locks are not recursive)"
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn debug_check_not_holder(&self) {}
+
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn debug_set_holder(&self) {
+        self.holder.store(held::thread_tag(), Ordering::Relaxed);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn debug_set_holder(&self) {}
+
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn debug_clear_holder(&self) {
+        let me = held::thread_tag();
+        let holder = self.holder.swap(0, Ordering::Relaxed);
+        assert!(
+            holder == me,
+            "simple_unlock by a thread that does not hold the lock"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn debug_clear_holder(&self) {}
+}
+
+impl Default for RawSimpleLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for RawSimpleLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawSimpleLock")
+            .field("locked", &self.is_locked())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// RAII guard for a [`RawSimpleLock`]; releases the lock on drop.
+///
+/// Deliberately `!Send`: holding a spin lock is a property of the acquiring
+/// thread in Mach ("holding of a lock is always associated with a thread").
+pub struct SimpleGuard<'a> {
+    lock: &'a RawSimpleLock,
+    /// Keeps the guard on the acquiring thread (`*mut ()` is `!Send`).
+    _not_send: core::marker::PhantomData<*mut ()>,
+}
+
+impl SimpleGuard<'_> {
+    /// Release explicitly (equivalent to dropping the guard); useful when
+    /// the release point matters for reading the code against the paper's
+    /// protocols.
+    pub fn unlock(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SimpleGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.unlock_raw();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let lock = RawSimpleLock::new();
+        {
+            let g = lock.lock();
+            assert!(lock.is_locked());
+            drop(g);
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let lock = RawSimpleLock::new();
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        g.unlock();
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 10_000;
+        let lock = RawSimpleLock::new();
+        let mut shared = 0usize; // protected by `lock`
+        let shared_ptr = &mut shared as *mut usize as usize;
+        let in_cs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        let _g = lock.lock();
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        // Non-atomic increment: torn updates would show up
+                        // as a wrong final count.
+                        unsafe {
+                            let p = shared_ptr as *mut usize;
+                            p.write(p.read() + 1);
+                        }
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared, THREADS * ITERS);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "self-deadlock")]
+    fn recursive_acquire_panics_in_debug() {
+        let lock = RawSimpleLock::new();
+        let _g = lock.lock();
+        let _g2 = lock.lock();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "init is not unlock")]
+    fn init_on_held_lock_panics_in_debug() {
+        let lock = RawSimpleLock::new();
+        let _g = lock.lock();
+        lock.init();
+    }
+
+    #[test]
+    fn init_resets_unlocked_lock() {
+        let lock = RawSimpleLock::new();
+        lock.init();
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn all_policies_provide_exclusion() {
+        for policy in SpinPolicy::ALL {
+            let lock = RawSimpleLock::with_policy(policy, Backoff::DEFAULT);
+            let counter = AtomicUsize::new(0);
+            let mut value = 0u64;
+            let vp = &mut value as *mut u64 as usize;
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..5_000 {
+                            let _g = lock.lock();
+                            unsafe {
+                                let p = vp as *mut u64;
+                                p.write(p.read() + 1);
+                            }
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(value, 20_000, "policy {policy:?} lost updates");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for simple locks: mutual exclusion holds for every
+//! policy/backoff/thread-count combination, and the try/guard APIs
+//! never disagree about the lock state.
+
+use machk_sync::{Backoff, RawSimpleLock, SimpleLocked, SpinPolicy};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = SpinPolicy> {
+    prop_oneof![
+        Just(SpinPolicy::Tas),
+        Just(SpinPolicy::Ttas),
+        Just(SpinPolicy::TasThenTtas),
+    ]
+}
+
+fn arb_backoff() -> impl Strategy<Value = Backoff> {
+    prop_oneof![
+        Just(Backoff::NONE),
+        Just(Backoff::DEFAULT),
+        (1u32..16, 16u32..512).prop_map(|(initial, max)| Backoff { initial, max }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn counter_is_exact_under_any_configuration(
+        policy in arb_policy(),
+        backoff in arb_backoff(),
+        threads in 1usize..5,
+        iters in 1u64..2_000,
+    ) {
+        let cell = SimpleLocked::with_policy(0u64, policy, backoff);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..iters {
+                        *cell.lock() += 1;
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(*cell.lock(), threads as u64 * iters);
+    }
+
+    #[test]
+    fn try_lock_agrees_with_state(policy in arb_policy()) {
+        let lock = RawSimpleLock::with_policy(policy, Backoff::NONE);
+        prop_assert!(!lock.is_locked());
+        let g = lock.try_lock();
+        prop_assert!(g.is_some());
+        prop_assert!(lock.is_locked());
+        prop_assert!(lock.try_lock().is_none());
+        drop(g);
+        prop_assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn lock_sequences_balance(ops in proptest::collection::vec(any::<bool>(), 0..64)) {
+        // true = lock+unlock via guard, false = raw lock/unlock pair.
+        let lock = RawSimpleLock::new();
+        for use_guard in ops {
+            if use_guard {
+                drop(lock.lock());
+            } else {
+                lock.lock_raw();
+                lock.unlock_raw();
+            }
+            prop_assert!(!lock.is_locked());
+        }
+    }
+}

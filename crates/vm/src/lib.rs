@@ -1,0 +1,53 @@
+//! # machk-vm — the Mach virtual-memory substrate
+//!
+//! The VM system supplies most of the paper's worked examples, so this
+//! crate rebuilds enough of it — in simulation — for every one of them
+//! to execute:
+//!
+//! * [`page`] — a bounded physical page pool whose exhaustion blocks,
+//!   the precondition for the section-7.1 `vm_map_pageable` deadlock.
+//! * [`object`] — memory objects with the **two independent reference
+//!   counts** of section 8 (structure references + the
+//!   paging-in-progress hybrid) and the **boolean-flag customized
+//!   lock** of section 5 guarding pager-port creation ("a simple lock
+//!   cannot be held during this operation, because the allocation of
+//!   the port data structures may block").
+//! * [`map`] — memory maps under a sleepable complex lock ("most
+//!   complex locks use the sleep option, including the lock on a
+//!   memory map"), with address-ordered entries, allocate / deallocate
+//!   / protect / fault operations, and per-entry simple locks for page
+//!   residence.
+//! * [`pageable`] — `vm_map_pageable` in **both** forms: the historical
+//!   recursive-lock implementation whose deadlock under memory shortage
+//!   section 7.1 reports ("while these deadlocks are difficult to
+//!   cause, they have been observed in practice"), and the rewritten
+//!   non-recursive form that eliminates them. Experiment E10.
+//! * [`pmap`] — the machine-dependent physical maps and
+//!   physical-to-virtual lists with the section-5 lock-ordering
+//!   disciplines: the **pmap system lock** arbitration and the
+//!   **backout protocol**. Experiment E9.
+//! * [`tlb`] — per-CPU software TLBs and shootdown via `machk-intr`'s
+//!   interrupt-level barrier synchronization, including the special
+//!   logic for a processor "attempting to acquire or holding such a
+//!   lock" being removed from the barrier set. Experiments E7/E14.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod map;
+pub mod object;
+pub mod page;
+pub mod pageable;
+pub mod pmap;
+pub mod tlb;
+pub mod zone;
+
+pub use map::{vm_map_copy, MapError, VmMap, VmProt, PAGE_SIZE};
+pub use object::VmObject;
+pub use page::{PageId, PagePool};
+pub use pageable::{
+    vm_map_pageable_recursive, vm_map_pageable_rewritten, PageOutDaemon, WireScenario,
+};
+pub use pmap::{OrderingDiscipline, PhysPage, Pmap, PvSystem};
+pub use tlb::TlbSystem;
+pub use zone::{Zone, ZoneStats};

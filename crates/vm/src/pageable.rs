@@ -1,0 +1,336 @@
+//! `vm_map_pageable` — recursive-lock original and rewritten form.
+//!
+//! Section 7.1 uses this routine as the cautionary tale for recursive
+//! locking:
+//!
+//! > When making memory nonpageable (i.e., wired or pinned), it
+//! > acquires a write lock on the memory map to change the appropriate
+//! > map entries, and downgrades to a recursive read lock to fault in
+//! > the memory. The fault routine in turn requires a read lock on the
+//! > map ... If one of the faults cannot be satisfied due to a physical
+//! > memory shortage, the fault routine drops its lock to wait for
+//! > memory. The fact that `vm_map_pageable` still holds a read lock
+//! > can cause a deadlock if obtaining more memory requires a write
+//! > lock on the same map. While these deadlocks are difficult to
+//! > cause, they have been observed in practice. To eliminate them,
+//! > `vm_map_pageable` is being rewritten to avoid the use of recursive
+//! > locks.
+//!
+//! [`vm_map_pageable_recursive`] is the original structure;
+//! [`vm_map_pageable_rewritten`] is the rewrite. [`WireScenario`]
+//! builds the memory-shortage setup in which — with a
+//! [`PageOutDaemon`] as the "obtaining more memory requires a write
+//! lock" party — the original deadlocks and the rewrite completes
+//! (experiment E10).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::map::{MapError, VmMap, PAGE_SIZE};
+
+/// Wire down `npages` starting at `start`, using the **historical
+/// recursive-lock structure**.
+///
+/// Holds the map lock for the entire operation: write for the entry
+/// updates, then a recursive read (never released) across every fault.
+/// `shortage_limit` bounds each wait for memory so a deadlock surfaces
+/// as [`MapError::ShortageTimeout`] instead of hanging (Mach had no
+/// such bound — the deadlock was real).
+pub fn vm_map_pageable_recursive(
+    map: &VmMap,
+    start: u64,
+    npages: u64,
+    shortage_limit: Duration,
+) -> Result<(), MapError> {
+    let lock = map.lock_ref();
+    // Write lock to change the map entries (wire them).
+    lock.write_raw();
+    let entry = match map.lookup_for_wire(start) {
+        Some(e) => e,
+        None => {
+            lock.done_raw();
+            return Err(MapError::NoEntry);
+        }
+    };
+    entry.set_wired(true);
+    // Downgrade to a recursive read lock to fault in the memory.
+    lock.set_recursive();
+    lock.write_to_read_raw();
+
+    let mut result = Ok(());
+    for i in 0..npages {
+        let addr = start + i * PAGE_SIZE;
+        // The fault takes (and drops) its own recursive read hold; our
+        // base hold persists — the deadlock ingredient.
+        if let Err(e) = map.fault(addr, Some(shortage_limit)) {
+            result = Err(e);
+            break;
+        }
+    }
+
+    // Release the recursive base hold.
+    lock.clear_recursive();
+    lock.done_raw();
+
+    if result.is_err() {
+        // Recovery: unwire what we wired.
+        lock.write_raw();
+        entry.set_wired(false);
+        lock.done_raw();
+    }
+    result
+}
+
+/// Wire down `npages` starting at `start`, using the **rewritten**
+/// structure that avoids recursive locks: the map lock is *not* held
+/// while waiting for memory, so a pageout daemon can take its write
+/// lock and reclaim.
+pub fn vm_map_pageable_rewritten(
+    map: &VmMap,
+    start: u64,
+    npages: u64,
+    shortage_limit: Duration,
+) -> Result<(), MapError> {
+    let lock = map.lock_ref();
+    // Write lock only for the entry update.
+    lock.write_raw();
+    let entry = match map.lookup_for_wire(start) {
+        Some(e) => e,
+        None => {
+            lock.done_raw();
+            return Err(MapError::NoEntry);
+        }
+    };
+    entry.set_wired(true);
+    lock.done_raw();
+
+    // Fault the pages in with no map lock held across the waits; each
+    // fault internally takes and releases a plain read hold.
+    let mut result = Ok(());
+    for i in 0..npages {
+        let addr = start + i * PAGE_SIZE;
+        if let Err(e) = map.fault(addr, Some(shortage_limit)) {
+            result = Err(e);
+            break;
+        }
+    }
+
+    if result.is_err() {
+        lock.write_raw();
+        entry.set_wired(false);
+        lock.done_raw();
+    }
+    result
+}
+
+/// The "obtaining more memory requires a write lock on the same map"
+/// party: a background thread that, whenever the pool runs dry,
+/// write-locks the map and reclaims unwired resident pages.
+pub struct PageOutDaemon {
+    stop: Arc<AtomicBool>,
+    reclaimed: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PageOutDaemon {
+    /// Start the daemon against `map`, stealing up to `batch` pages per
+    /// pass.
+    pub fn start(map: Arc<VmMap>, batch: usize) -> PageOutDaemon {
+        let stop = Arc::new(AtomicBool::new(false));
+        let reclaimed = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let reclaimed2 = Arc::clone(&reclaimed);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                if map.pool().free_count() == 0 {
+                    // Requires the map write lock — the deadlock edge.
+                    let n = map.reclaim(batch);
+                    reclaimed2.fetch_add(n as u64, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        PageOutDaemon {
+            stop,
+            reclaimed,
+            handle: Some(handle),
+        }
+    }
+
+    /// Pages reclaimed so far.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::SeqCst)
+    }
+
+    /// Stop and join the daemon, returning the total reclaimed.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.reclaimed()
+    }
+}
+
+impl Drop for PageOutDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The section-7.1 memory-shortage scenario, packaged for tests, the
+/// experiments binary, and the benches.
+///
+/// Layout: a *donor* entry with all its pages resident and unwired
+/// (reclaimable), a *target* entry to be wired, and a pool too small to
+/// wire the target without reclaiming from the donor.
+pub struct WireScenario {
+    /// The shared map.
+    pub map: Arc<VmMap>,
+    /// Start address of the wire target.
+    pub target_start: u64,
+    /// Pages to wire.
+    pub wire_pages: u64,
+}
+
+impl WireScenario {
+    /// Build the scenario: `donor_pages` resident unwired pages, a
+    /// `wire_pages` target, and a pool of `donor_pages + wire_pages/2`
+    /// frames (so wiring needs reclaim).
+    pub fn build(donor_pages: u64, wire_pages: u64) -> WireScenario {
+        use crate::page::PagePool;
+        assert!(donor_pages > wire_pages / 2, "donor must cover the deficit");
+        let pool = Arc::new(PagePool::new((donor_pages + wire_pages / 2) as u32));
+        let map = Arc::new(VmMap::new(pool));
+        let donor_start = 0x10_0000;
+        let target_start = 0x80_0000;
+        map.allocate(donor_start, donor_pages * PAGE_SIZE).unwrap();
+        map.allocate(target_start, wire_pages * PAGE_SIZE).unwrap();
+        for i in 0..donor_pages {
+            map.fault(donor_start + i * PAGE_SIZE, None).unwrap();
+        }
+        WireScenario {
+            map,
+            target_start,
+            wire_pages,
+        }
+    }
+}
+
+impl VmMap {
+    /// Entry lookup for the wire paths; caller holds the map lock.
+    pub(crate) fn lookup_for_wire(&self, addr: u64) -> Option<Arc<crate::map::MapEntry>> {
+        self.lookup_locked_public(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMIT: Duration = Duration::from_millis(300);
+
+    #[test]
+    fn recursive_version_succeeds_without_shortage() {
+        // Enough memory: both versions work.
+        let scenario = WireScenario::build(8, 4);
+        // Free the donor pages first so there is no shortage.
+        assert!(scenario.map.reclaim(usize::MAX) >= 4);
+        vm_map_pageable_recursive(
+            &scenario.map,
+            scenario.target_start,
+            scenario.wire_pages,
+            LIMIT,
+        )
+        .unwrap();
+        let e = scenario.map.lookup(scenario.target_start).unwrap();
+        assert!(e.is_wired());
+        assert_eq!(e.resident_count() as u64, scenario.wire_pages);
+    }
+
+    #[test]
+    fn recursive_version_deadlocks_under_shortage() {
+        // The paper's deadlock: pool exhausted, pageout daemon needs the
+        // write lock, vm_map_pageable holds a recursive read across the
+        // faults. Detected via the bounded shortage wait.
+        let scenario = WireScenario::build(8, 8);
+        let daemon = PageOutDaemon::start(Arc::clone(&scenario.map), 4);
+        let r = vm_map_pageable_recursive(
+            &scenario.map,
+            scenario.target_start,
+            scenario.wire_pages,
+            LIMIT,
+        );
+        assert_eq!(
+            r,
+            Err(MapError::ShortageTimeout),
+            "the recursive structure must deadlock under shortage"
+        );
+        // While we held the recursive read lock, the daemon can not have
+        // reclaimed anything.
+        let e = scenario.map.lookup(scenario.target_start).unwrap();
+        assert!(!e.is_wired(), "recovery unwired the target");
+        daemon.stop();
+    }
+
+    #[test]
+    fn rewritten_version_completes_under_shortage() {
+        let scenario = WireScenario::build(8, 8);
+        let daemon = PageOutDaemon::start(Arc::clone(&scenario.map), 4);
+        vm_map_pageable_rewritten(
+            &scenario.map,
+            scenario.target_start,
+            scenario.wire_pages,
+            Duration::from_secs(20),
+        )
+        .unwrap();
+        let e = scenario.map.lookup(scenario.target_start).unwrap();
+        assert!(e.is_wired());
+        assert_eq!(e.resident_count() as u64, scenario.wire_pages);
+        assert!(daemon.stop() > 0, "the daemon reclaimed donor pages");
+    }
+
+    #[test]
+    fn rewritten_version_wired_pages_resist_reclaim() {
+        let scenario = WireScenario::build(8, 8);
+        let daemon = PageOutDaemon::start(Arc::clone(&scenario.map), 4);
+        vm_map_pageable_rewritten(
+            &scenario.map,
+            scenario.target_start,
+            scenario.wire_pages,
+            Duration::from_secs(20),
+        )
+        .unwrap();
+        daemon.stop();
+        // Exhaust the pool and reclaim: wired pages must stay.
+        let before = scenario
+            .map
+            .lookup(scenario.target_start)
+            .unwrap()
+            .resident_count();
+        scenario.map.reclaim(usize::MAX);
+        let after = scenario
+            .map
+            .lookup(scenario.target_start)
+            .unwrap()
+            .resident_count();
+        assert_eq!(before, after, "wired pages are not reclaimable");
+    }
+
+    #[test]
+    fn wire_nonexistent_range_fails() {
+        let scenario = WireScenario::build(4, 2);
+        assert_eq!(
+            vm_map_pageable_recursive(&scenario.map, 0xdead_0000, 1, LIMIT),
+            Err(MapError::NoEntry)
+        );
+        assert_eq!(
+            vm_map_pageable_rewritten(&scenario.map, 0xdead_0000, 1, LIMIT),
+            Err(MapError::NoEntry)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the memory map against an interval oracle.
+//!
+//! Random allocate / deallocate / fault / protect sequences are mirrored
+//! into a plain `BTreeMap` oracle; after every step the map must agree
+//! with the oracle about which addresses are covered, and the frame
+//! ledger must conserve: free frames + resident pages == pool size.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use machk_vm::{MapError, PagePool, VmMap, VmProt, PAGE_SIZE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate { slot: u8, pages: u8 },
+    Deallocate { slot: u8 },
+    Fault { slot: u8, page: u8 },
+    Protect { slot: u8 },
+    Reclaim { max: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 1u8..5).prop_map(|(slot, pages)| Op::Allocate { slot, pages }),
+        (0u8..8).prop_map(|slot| Op::Deallocate { slot }),
+        (0u8..8, 0u8..5).prop_map(|(slot, page)| Op::Fault { slot, page }),
+        (0u8..8).prop_map(|slot| Op::Protect { slot }),
+        (0u8..16).prop_map(|max| Op::Reclaim { max }),
+    ]
+}
+
+/// Slot i occupies a fixed base address so the oracle stays simple.
+fn base(slot: u8) -> u64 {
+    0x10_0000 + slot as u64 * 0x10_0000
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn map_agrees_with_oracle(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        const POOL: u32 = 16;
+        let pool = Arc::new(PagePool::new(POOL));
+        let map = VmMap::new(Arc::clone(&pool));
+        // Oracle: slot -> page count.
+        let mut oracle: BTreeMap<u8, u8> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Allocate { slot, pages } => {
+                    let r = map.allocate(base(slot), pages as u64 * PAGE_SIZE);
+                    if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(slot) {
+                        prop_assert_eq!(r, Ok(()));
+                        e.insert(pages);
+                    } else {
+                        prop_assert_eq!(r, Err(MapError::Overlap));
+                    }
+                }
+                Op::Deallocate { slot } => {
+                    let r = map.deallocate(base(slot));
+                    if oracle.remove(&slot).is_some() {
+                        prop_assert_eq!(r, Ok(()));
+                    } else {
+                        prop_assert_eq!(r, Err(MapError::NoEntry));
+                    }
+                }
+                Op::Fault { slot, page } => {
+                    let addr = base(slot) + page as u64 * PAGE_SIZE;
+                    let covered = oracle.get(&slot).is_some_and(|n| page < *n);
+                    // Bound the wait: a fault on a covered page may need
+                    // memory that only a reclaim could free; use a short
+                    // timeout and accept either outcome for the ledger.
+                    let r = map.fault(addr, Some(std::time::Duration::from_millis(50)));
+                    if covered {
+                        match r {
+                            Ok(_) | Err(MapError::ShortageTimeout) => {}
+                            other => prop_assert!(false, "unexpected fault result {other:?}"),
+                        }
+                    } else {
+                        prop_assert_eq!(r, Err(MapError::NoEntry));
+                    }
+                }
+                Op::Protect { slot } => {
+                    let r = map.protect(base(slot), VmProt::Read);
+                    if oracle.contains_key(&slot) {
+                        prop_assert_eq!(r, Ok(()));
+                        prop_assert_eq!(
+                            map.lookup(base(slot)).unwrap().protection(),
+                            VmProt::Read
+                        );
+                    } else {
+                        prop_assert_eq!(r, Err(MapError::NoEntry));
+                    }
+                }
+                Op::Reclaim { max } => {
+                    let _ = map.reclaim(max as usize);
+                }
+            }
+
+            // Coverage agreement for every slot.
+            for slot in 0u8..8 {
+                let covered = oracle.contains_key(&slot);
+                prop_assert_eq!(
+                    map.lookup(base(slot)).is_some(),
+                    covered,
+                    "slot {} coverage mismatch", slot
+                );
+            }
+            // Frame conservation.
+            prop_assert_eq!(
+                pool.free_count() + map.resident_total(),
+                POOL as usize,
+                "frames leaked or duplicated"
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the pmap/pv system against a flat oracle, under
+//! both section-5 ordering disciplines.
+//!
+//! The oracle is the obvious single-threaded map `(pmap, va) → pa`;
+//! after every operation the pmap side and the pv (inverted) side must
+//! both agree with it exactly.
+
+use std::collections::HashMap;
+
+use machk_vm::{OrderingDiscipline, PageId, PvSystem};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Enter { pm: u8, va: u8, pa: u8 },
+    Remove { pm: u8, va: u8 },
+    PageProtect { pa: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..3, 0u8..8, 0u8..8).prop_map(|(pm, va, pa)| Op::Enter { pm, va, pa }),
+        1 => (0u8..3, 0u8..8).prop_map(|(pm, va)| Op::Remove { pm, va }),
+        1 => (0u8..8).prop_map(|pa| Op::PageProtect { pa }),
+    ]
+}
+
+fn check_against_oracle(
+    sys: &PvSystem,
+    oracle: &HashMap<(u8, u8), u8>,
+) -> Result<(), TestCaseError> {
+    // pmap side.
+    for pm in 0u8..3 {
+        for va in 0u8..8 {
+            let expect = oracle.get(&(pm, va)).map(|pa| PageId(*pa as u32));
+            prop_assert_eq!(
+                sys.pmap(pm as usize).translate(va as u64 * 0x1000),
+                expect,
+                "pmap {} va {} disagrees with oracle",
+                pm,
+                va
+            );
+        }
+    }
+    // pv (inverted) side: exactly the oracle's pairs, grouped by pa.
+    for pa in 0u8..8 {
+        let mut expect: Vec<(usize, u64)> = oracle
+            .iter()
+            .filter(|(_, v)| **v == pa)
+            .map(|((pm, va), _)| (*pm as usize, *va as u64 * 0x1000))
+            .collect();
+        expect.sort_unstable();
+        let mut got = sys.mappers_of(PageId(pa as u32));
+        got.sort_unstable();
+        prop_assert_eq!(got, expect, "pv list for pa {} disagrees", pa);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pmap_pv_agree_with_oracle(ops in proptest::collection::vec(arb_op(), 0..48)) {
+        for discipline in OrderingDiscipline::ALL {
+            let sys = PvSystem::new(3, 8, discipline);
+            let mut oracle: HashMap<(u8, u8), u8> = HashMap::new();
+            for op in &ops {
+                match *op {
+                    Op::Enter { pm, va, pa } => {
+                        sys.pmap_enter(pm as usize, va as u64 * 0x1000, PageId(pa as u32));
+                        oracle.insert((pm, va), pa);
+                    }
+                    Op::Remove { pm, va } => {
+                        sys.pmap_remove(pm as usize, va as u64 * 0x1000);
+                        oracle.remove(&(pm, va));
+                    }
+                    Op::PageProtect { pa } => {
+                        let revoked = sys.pmap_page_protect(PageId(pa as u32));
+                        let expect = oracle.values().filter(|v| **v == pa).count();
+                        prop_assert_eq!(revoked, expect, "revocation count ({})", discipline.name());
+                        oracle.retain(|_, v| *v != pa);
+                    }
+                }
+                check_against_oracle(&sys, &oracle)?;
+            }
+        }
+    }
+}

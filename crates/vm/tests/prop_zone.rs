@@ -1,0 +1,39 @@
+//! Property tests for the zone allocator: conservation and stats under
+//! arbitrary alloc/free sequences.
+
+use machk_vm::Zone;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn zone_conserves_elements(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(any::<bool>(), 0..96),
+    ) {
+        let zone: Zone<u32> = Zone::new("prop", capacity, || 0);
+        let mut held: Vec<u32> = Vec::new();
+        for alloc in ops {
+            if alloc {
+                match zone.try_alloc() {
+                    Some(el) => {
+                        prop_assert!(held.len() < capacity, "over-allocated");
+                        held.push(el);
+                    }
+                    None => prop_assert_eq!(held.len(), capacity, "spurious exhaustion"),
+                }
+            } else if let Some(el) = held.pop() {
+                zone.free(el);
+            }
+            prop_assert_eq!(zone.outstanding(), held.len());
+            prop_assert_eq!(zone.free_count(), capacity - held.len());
+        }
+        let stats = zone.stats();
+        prop_assert_eq!(stats.allocs - stats.frees, held.len() as u64);
+        for el in held.drain(..) {
+            zone.free(el);
+        }
+        prop_assert_eq!(zone.free_count(), capacity);
+    }
+}

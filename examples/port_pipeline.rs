@@ -1,0 +1,112 @@
+//! A message pipeline over ports, with rights transferred in messages.
+//!
+//! Run with `cargo run --example port_pipeline`.
+//!
+//! Builds a three-stage pipeline (source → transform → sink) where each
+//! stage is a thread receiving from its port. The source discovers the
+//! downstream ports by *receiving their send rights in a message* —
+//! the reference-carrying property of Mach messages — and every stage
+//! blocks on the section-6 event-wait mechanism inside
+//! `Port::receive`.
+
+use std::sync::Arc;
+
+use mach_locking::core::ObjRef;
+use mach_locking::ipc::{Message, Port};
+
+const MSG_DATA: u32 = 1;
+const MSG_SETUP: u32 = 2;
+const MSG_EOF: u32 = 3;
+
+fn main() {
+    let source_port = Port::create_with_limit(8);
+    let transform_port = Port::create_with_limit(8);
+    let sink_port = Port::create_with_limit(8);
+
+    // Hand the source the downstream rights *through its own port*:
+    // rights move inside messages, references and all.
+    source_port
+        .send(
+            Message::new(MSG_SETUP)
+                .with_port_right(transform_port.clone())
+                .with_port_right(sink_port.clone()),
+        )
+        .unwrap();
+    assert_eq!(
+        ObjRef::ref_count(&transform_port),
+        2,
+        "message holds a right"
+    );
+
+    let total = 1_000u64;
+    std::thread::scope(|s| {
+        // Stage 1: source.
+        let sp = source_port.clone();
+        s.spawn(move || {
+            let mut setup = sp.receive().unwrap();
+            assert_eq!(setup.id(), MSG_SETUP);
+            let transform = setup.take_port_right(0).unwrap();
+            let _sink = setup.take_port_right(0).unwrap(); // not used here
+            for i in 0..total {
+                transform.send(Message::new(MSG_DATA).with_int(i)).unwrap();
+            }
+            transform.send(Message::new(MSG_EOF)).unwrap();
+        });
+
+        // Stage 2: transform (doubles each value).
+        let tp = transform_port.clone();
+        let sk = sink_port.clone();
+        s.spawn(move || loop {
+            let msg = tp.receive().unwrap();
+            match msg.id() {
+                MSG_DATA => {
+                    let v = msg.int_at(0).unwrap();
+                    sk.send(Message::new(MSG_DATA).with_int(v * 2)).unwrap();
+                }
+                MSG_EOF => {
+                    sk.send(Message::new(MSG_EOF)).unwrap();
+                    break;
+                }
+                _ => unreachable!(),
+            }
+        });
+
+        // Stage 3: sink.
+        let sk = sink_port.clone();
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sum2 = Arc::clone(&sum);
+        let sink = s.spawn(move || {
+            loop {
+                let msg = sk.receive().unwrap();
+                match msg.id() {
+                    MSG_DATA => {
+                        sum2.fetch_add(
+                            msg.int_at(0).unwrap(),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
+                    MSG_EOF => break,
+                    _ => unreachable!(),
+                }
+            }
+            sum2.load(std::sync::atomic::Ordering::Relaxed)
+        });
+
+        let got = sink.join().unwrap();
+        let expect = (0..total).map(|i| i * 2).sum::<u64>();
+        println!("pipeline: sum of doubled 0..{total} = {got} (expected {expect})");
+        assert_eq!(got, expect);
+    });
+
+    // Tear down: destroy the ports; queued rights (none left) released.
+    source_port.destroy().unwrap();
+    transform_port.destroy().unwrap();
+    sink_port.destroy().unwrap();
+    println!(
+        "ports dead; remaining references: source={}, transform={}, sink={}",
+        ObjRef::ref_count(&source_port),
+        ObjRef::ref_count(&transform_port),
+        ObjRef::ref_count(&sink_port)
+    );
+    println!("port_pipeline done");
+}

@@ -1,0 +1,62 @@
+//! TLB shootdown on a simulated 4-CPU machine.
+//!
+//! Run with `cargo run --example tlb_shootdown`.
+//!
+//! Section 7's one sanctioned use of interrupt-level barrier
+//! synchronization: a pmap change must invalidate every CPU's cached
+//! translations, with all processors entering the interrupt service
+//! routine before any leaves. Includes the special-logic case — a CPU
+//! spinning for the initiator's pmap lock is exempted from the barrier
+//! and picks up the flush when it re-enables interrupts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mach_locking::intr::{BarrierOutcome, Machine};
+use mach_locking::vm::{PageId, TlbSystem};
+
+fn main() {
+    let machine = Arc::new(Machine::new(4));
+    let tlb = Arc::new(TlbSystem::new(Arc::clone(&machine), 2));
+    let stage = Arc::new(AtomicUsize::new(0));
+
+    machine.run(|cpu| {
+        // Everyone caches translations for pmap 0.
+        tlb.cache_translation(0, 0xA000, PageId(1));
+        tlb.cache_translation(1, 0xB000, PageId(2)); // unrelated pmap
+        stage.fetch_add(1, Ordering::SeqCst);
+        while stage.load(Ordering::SeqCst) < 4 {
+            cpu.poll();
+            core::hint::spin_loop();
+        }
+
+        if cpu.id() == 0 {
+            // The initiator: change pmap 0 and shoot down.
+            let outcome = tlb.shootdown_update(0, || {}, Duration::from_secs(10));
+            assert_eq!(outcome, BarrierOutcome::Completed);
+            println!(
+                "cpu0: shootdown completed; {} TLB entries invalidated machine-wide",
+                tlb.invalidation_count()
+            );
+            stage.store(10, Ordering::SeqCst);
+        } else {
+            // Responsive CPUs: take the barrier IPI at a poll point.
+            while stage.load(Ordering::SeqCst) < 10 {
+                cpu.poll();
+                core::hint::spin_loop();
+            }
+        }
+
+        // Post-condition on every CPU: pmap 0 flushed, pmap 1 intact.
+        assert_eq!(tlb.cached_translation(0, 0xA000), None);
+        assert_eq!(tlb.cached_translation(1, 0xB000), Some(PageId(2)));
+    });
+
+    println!(
+        "all CPUs consistent: stale(0,0xA000)={} shootdowns={}",
+        tlb.stale_anywhere(0, 0xA000),
+        tlb.shootdown_count()
+    );
+    println!("tlb_shootdown done");
+}

@@ -1,0 +1,40 @@
+//! # mach-locking — reproduction of "Locking and Reference Counting in
+//! # the Mach Kernel" (ICPP 1991)
+//!
+//! This is the facade crate of the workspace: it re-exports the
+//! mechanism layer ([`core`], i.e. `machk-core`) and the kernel
+//! substrates built on it, so examples and downstream users need a
+//! single dependency.
+//!
+//! | Module | Crate | Paper sections |
+//! |---|---|---|
+//! | [`core`] | `machk-core` | 4, 6, 8, 9 (locks, event wait, references) |
+//! | [`ipc`] | `machk-ipc` | 3, 10 (ports, messages, kernel RPC) |
+//! | [`kernel`] | `machk-kernel` | 3, 5, 9, 10 (tasks, threads, shutdown) |
+//! | [`vm`] | `machk-vm` | 5, 7, 7.1 (maps, objects, pmaps, TLB) |
+//! | [`intr`] | `machk-intr` | 7 (spl, interrupts, barrier sync) |
+//!
+//! See `DESIGN.md` for the system inventory and the experiment index
+//! (E1–E14), and `EXPERIMENTS.md` for measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mach_locking::core::{ComplexLock, ObjRef, RwData, SimpleLocked};
+//!
+//! // A Mach simple lock protecting data:
+//! let counter = SimpleLocked::new(0u64);
+//! *counter.lock() += 1;
+//!
+//! // A complex (readers/writer) lock with write-then-downgrade:
+//! let table = RwData::new(vec![1, 2, 3], true);
+//! let w = table.write();
+//! let r = w.downgrade();
+//! assert_eq!(r.len(), 3);
+//! ```
+
+pub use machk_core as core;
+pub use machk_intr as intr;
+pub use machk_ipc as ipc;
+pub use machk_kernel as kernel;
+pub use machk_vm as vm;

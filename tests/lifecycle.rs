@@ -1,0 +1,107 @@
+//! Cross-crate integration: the full life of a kernel object, from
+//! creation through port-exported operation to the four-step shutdown,
+//! with the reference count audited at every stage (paper sections 8
+//! and 10).
+
+use mach_locking::core::ObjRef;
+use mach_locking::ipc::{Message, PortError, RefSemantics, RpcError, RpcStats};
+use mach_locking::kernel::{
+    kernel_dispatch_table, op_ids, ops::create_task_with_port, shutdown::shutdown_task,
+    TaskRefExt as _,
+};
+
+#[test]
+fn full_lifecycle_with_reference_audit() {
+    let table = kernel_dispatch_table();
+    let stats = RpcStats::new();
+
+    // Creation: one reference (ours) + one in the port.
+    let (task, port) = create_task_with_port();
+    assert_eq!(ObjRef::ref_count(&task), 2);
+
+    // Threads link back to the task: each adds a reference.
+    let t1 = task.thread_create().unwrap();
+    let t2 = task.thread_create().unwrap();
+    assert_eq!(ObjRef::ref_count(&task), 4);
+    assert_eq!(task.thread_count(), 2);
+
+    // Operations via the port: reference taken and released per call.
+    for _ in 0..10 {
+        table
+            .msg_rpc(
+                &port,
+                Message::new(op_ids::TASK_SUSPEND),
+                RefSemantics::Mach30,
+                &stats,
+            )
+            .unwrap();
+    }
+    assert_eq!(task.suspend_count(), 10);
+    assert_eq!(ObjRef::ref_count(&task), 4, "operation refs all released");
+
+    // Shutdown: threads terminated (back refs released), port pointer
+    // removed, our creation ref consumed by the protocol.
+    let spare = task.clone();
+    shutdown_task(&port, task).unwrap();
+    assert!(!spare.is_active());
+    assert_eq!(spare.thread_count(), 0);
+    assert_eq!(
+        ObjRef::ref_count(&spare),
+        1,
+        "only the audit reference remains"
+    );
+
+    // Late operations fail at translation (step 2 disabled it).
+    let err = table
+        .msg_rpc(
+            &port,
+            Message::new(op_ids::TASK_INFO),
+            RefSemantics::Mach30,
+            &stats,
+        )
+        .unwrap_err();
+    assert!(matches!(err, RpcError::Port(_)));
+
+    // The thread structures survive while referenced, dead.
+    assert!(!t1.is_active() && !t2.is_active());
+    assert!(t1.task().is_none(), "back pointers cleared");
+
+    assert!(stats.balanced());
+    drop(spare); // final deletion
+}
+
+#[test]
+fn port_rights_through_task_name_spaces() {
+    // Task A holds a right to task B's port in its name space;
+    // translation clones it; shutdown of A releases it.
+    let (task_a, _port_a) = create_task_with_port();
+    let (task_b, port_b) = create_task_with_port();
+
+    let name = task_a.port_insert(port_b.clone());
+    assert_eq!(ObjRef::ref_count(&port_b), 2, "ours + A's table");
+
+    let right = task_a.port_translate(name).unwrap();
+    assert!(ObjRef::ptr_eq(&right, &port_b));
+    drop(right);
+
+    task_a.terminate_simple().unwrap();
+    assert_eq!(ObjRef::ref_count(&port_b), 1, "A's table right released");
+
+    // B unaffected.
+    assert!(task_b.is_active());
+    shutdown_task(&port_b, task_b).unwrap();
+}
+
+#[test]
+fn dead_port_surfaces_to_blocked_receivers() {
+    // A receiver blocked on a task's port observes Dead when shutdown
+    // destroys the port — no hang, no stale message.
+    let (task, port) = create_task_with_port();
+    std::thread::scope(|s| {
+        let p = port.clone();
+        let recv = s.spawn(move || p.receive());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        shutdown_task(&port, task).unwrap();
+        assert_eq!(recv.join().unwrap().unwrap_err(), PortError::Dead);
+    });
+}

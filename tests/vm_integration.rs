@@ -1,0 +1,146 @@
+//! Cross-crate VM integration: maps + page pool + memory objects +
+//! pmaps + TLBs working together, the way the paper's VM walkthroughs
+//! combine them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mach_locking::core::ObjRef;
+use mach_locking::intr::{BarrierOutcome, Machine};
+use mach_locking::vm::{
+    vm_map_pageable_rewritten, OrderingDiscipline, PageId, PagePool, PvSystem, TlbSystem, VmMap,
+    VmObject, PAGE_SIZE,
+};
+
+#[test]
+fn fault_populate_wire_reclaim_cycle() {
+    let pool = Arc::new(PagePool::new(32));
+    let map = Arc::new(VmMap::new(Arc::clone(&pool)));
+    map.allocate(0, 16 * PAGE_SIZE).unwrap();
+    map.allocate(0x100000, 16 * PAGE_SIZE).unwrap();
+
+    // Fault everything in.
+    for i in 0..16u64 {
+        map.fault(i * PAGE_SIZE, None).unwrap();
+        map.fault(0x100000 + i * PAGE_SIZE, None).unwrap();
+    }
+    assert_eq!(pool.free_count(), 0);
+
+    // Wire the first range (already resident: no new frames needed).
+    vm_map_pageable_rewritten(&map, 0, 16, Duration::from_secs(5)).unwrap();
+
+    // Reclaim can only strip the second range.
+    let reclaimed = map.reclaim(usize::MAX);
+    assert_eq!(reclaimed, 16);
+    assert_eq!(pool.free_count(), 16);
+    assert_eq!(map.lookup(0).unwrap().resident_count(), 16);
+
+    // Deallocating the wired range returns its frames too.
+    map.deallocate(0).unwrap();
+    assert_eq!(pool.free_count(), 32);
+}
+
+#[test]
+fn memory_object_pager_ports_are_real_ports() {
+    // The section-3 representation: "a data structure and three
+    // associated ports" — and the ports work as channels.
+    use mach_locking::ipc::Message;
+    let obj = VmObject::create();
+    obj.ensure_pager_ports().unwrap();
+    let name = obj.name_port().unwrap();
+    name.send(Message::new(42).with_int(7)).unwrap();
+    assert_eq!(name.receive().unwrap().int_at(0), Some(7));
+    // Termination destroys the ports; sends now fail.
+    let op = obj.paging_begin().unwrap();
+    drop(op);
+    obj.terminate().unwrap();
+    assert!(name.send(Message::new(1)).is_err());
+    assert_eq!(ObjRef::ref_count(&name), 1, "object released its port refs");
+}
+
+#[test]
+fn pmap_updates_with_tlb_shootdown_end_consistent() {
+    // Combine the pv system (mapping truth) with per-CPU TLBs
+    // (cached truth): after a protect + shootdown, no CPU caches a
+    // revoked translation.
+    let machine = Arc::new(Machine::new(4));
+    let tlb = Arc::new(TlbSystem::new(Arc::clone(&machine), 2));
+    let pv = Arc::new(PvSystem::new(2, 16, OrderingDiscipline::Backout));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    machine.run(|cpu| {
+        use std::sync::atomic::Ordering;
+        // Each CPU installs and caches a translation in pmap 0.
+        let va = 0x1000 * (cpu.id() as u64 + 1);
+        pv.pmap_enter(0, va, PageId(5));
+        tlb.cache_translation(0, va, PageId(5));
+
+        if cpu.id() == 0 {
+            // Wait for all CPUs to have cached, then revoke the page
+            // and shoot down.
+            while pv.mappers_of(PageId(5)).len() < 4 {
+                cpu.poll();
+                std::hint::spin_loop();
+            }
+            let revoked_in = Arc::clone(&pv);
+            let outcome = tlb.shootdown_update(
+                0,
+                move || {
+                    let n = revoked_in.pmap_page_protect(PageId(5));
+                    assert_eq!(n, 4);
+                },
+                Duration::from_secs(10),
+            );
+            assert_eq!(outcome, BarrierOutcome::Completed);
+            done.store(true, Ordering::SeqCst);
+        } else {
+            while !done.load(Ordering::SeqCst) {
+                cpu.poll();
+                std::hint::spin_loop();
+            }
+        }
+        // Post-condition on every CPU: no cached translation survives
+        // the shootdown, matching the revoked pmap state.
+        assert_eq!(tlb.cached_translation(0, va), None);
+        assert_eq!(pv.pmap(0).translate(va), None);
+    });
+    assert!(!tlb.stale_anywhere(0, 0x1000));
+}
+
+#[test]
+fn concurrent_maps_share_one_pool_without_leaks() {
+    // Several maps drawing from one pool under fault/reclaim churn:
+    // the frame ledger must conserve exactly.
+    let pool = Arc::new(PagePool::new(64));
+    let maps: Vec<Arc<VmMap>> = (0..4)
+        .map(|_| Arc::new(VmMap::new(Arc::clone(&pool))))
+        .collect();
+    for m in &maps {
+        m.allocate(0, 32 * PAGE_SIZE).unwrap();
+    }
+    std::thread::scope(|s| {
+        for (i, m) in maps.iter().enumerate() {
+            let m = Arc::clone(m);
+            s.spawn(move || {
+                let mut x = i as u64 + 1;
+                for _ in 0..400 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let addr = (x % 32) * PAGE_SIZE;
+                    match x % 3 {
+                        0 => {
+                            let _ = m.fault(addr, Some(Duration::from_millis(20)));
+                        }
+                        1 => {
+                            let _ = m.reclaim(4);
+                        }
+                        _ => {
+                            let _ = m.lookup(addr);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let resident: usize = maps.iter().map(|m| m.resident_total()).sum();
+    assert_eq!(pool.free_count() + resident, 64, "frame ledger conserves");
+}
