@@ -1,0 +1,44 @@
+//! Queued-lock Criterion bench: contention scaling of the ticket and
+//! MCS policies against the paper's word-spinning baselines, plus the
+//! raw handoff cost of each queued mechanism at fixed oversubscription.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::workloads::simple_lock_counter;
+use machk_core::{Backoff, SpinPolicy};
+
+/// Throughput of the shared-counter workload per policy as waiters pile
+/// up; 8 and 16 threads oversubscribe small hosts on purpose — that is
+/// where admission order and per-waiter spinning start to matter.
+fn contention_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queued_lock_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 16] {
+        for policy in SpinPolicy::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(policy.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| simple_lock_counter(policy, Backoff::NONE, threads, 10_000));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Uncontended single-thread cost: the queued fast paths must stay in
+/// the same league as a plain test-and-set for the common
+/// first-try-succeeds case the paper designs for.
+fn uncontended_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queued_lock_uncontended");
+    g.sample_size(10);
+    for policy in SpinPolicy::ALL {
+        g.bench_with_input(BenchmarkId::new(policy.name(), 1), &1usize, |b, &threads| {
+            b.iter(|| simple_lock_counter(policy, Backoff::NONE, threads, 100_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, contention_scaling, uncontended_cost);
+criterion_main!(benches);

@@ -24,6 +24,19 @@ pub fn thread_sweep() -> Vec<usize> {
     v
 }
 
+/// [`thread_sweep`] extended to at least 8 threads, for experiments
+/// whose subject is *contention* itself (E1's queued-policy comparison):
+/// queued locks only separate from word-spinning ones once enough
+/// waiters pile up, which requires oversubscription on small hosts.
+pub fn contention_sweep() -> Vec<usize> {
+    let mut v = thread_sweep();
+    while *v.last().unwrap() < 8 {
+        let next = v.last().unwrap() * 2;
+        v.push(next);
+    }
+    v
+}
+
 /// Run `threads` copies of `work` concurrently (each gets its thread
 /// index) and return the wall-clock duration of the whole batch.
 pub fn run_concurrent<F>(threads: usize, work: F) -> Duration

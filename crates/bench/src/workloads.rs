@@ -6,7 +6,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use machk_core::{
-    Backoff, ComplexLock, Kobj, ObjRef, RawSimpleLock, RwData, SimpleLocked, SpinPolicy,
+    Backoff, ComplexLock, Kobj, ObjRef, RawSimpleLock, Refable, RwData, SimpleLocked, SpinPolicy,
     UpgradeFailed,
 };
 use machk_ipc::{DispatchTable, KernError, Message, Port, RefSemantics, RpcStats};
@@ -348,17 +348,21 @@ pub enum RefImpl {
     LockedCount,
     /// Lock-free atomic count (`std::sync::Arc`).
     Arc,
+    /// Sharded count with drain-to-exact final release
+    /// (`ShardedRefCount` behind the same `ObjRef` protocol).
+    Sharded,
 }
 
 impl RefImpl {
-    /// Both variants.
-    pub const ALL: [RefImpl; 2] = [RefImpl::LockedCount, RefImpl::Arc];
+    /// All variants.
+    pub const ALL: [RefImpl; 3] = [RefImpl::LockedCount, RefImpl::Arc, RefImpl::Sharded];
 
     /// Table label.
     pub fn name(self) -> &'static str {
         match self {
             RefImpl::LockedCount => "lock+count (Mach)",
             RefImpl::Arc => "atomic (Arc)",
+            RefImpl::Sharded => "sharded",
         }
     }
 }
@@ -367,8 +371,11 @@ impl RefImpl {
 /// (one op = clone + release).
 pub fn refcount_storm(imp: RefImpl, threads: usize, iters: u64) -> f64 {
     match imp {
-        RefImpl::LockedCount => {
-            let obj: ObjRef<Kobj<u64>> = Kobj::create(0u64);
+        RefImpl::LockedCount | RefImpl::Sharded => {
+            let obj: ObjRef<Kobj<u64>> = match imp {
+                RefImpl::Sharded => Kobj::create_sharded(0u64),
+                _ => Kobj::create(0u64),
+            };
             let elapsed = run_concurrent(threads, |_t| {
                 for _ in 0..iters {
                     let c = obj.clone();
@@ -396,10 +403,13 @@ pub fn refcount_storm(imp: RefImpl, threads: usize, iters: u64) -> f64 {
 /// releasing side, destroy. Returns objects/s.
 pub fn refcount_churn(imp: RefImpl, threads: usize, iters: u64, fanout: usize) -> f64 {
     match imp {
-        RefImpl::LockedCount => {
+        RefImpl::LockedCount | RefImpl::Sharded => {
             let elapsed = run_concurrent(threads, |_t| {
                 for _ in 0..iters {
-                    let obj: ObjRef<Kobj<u64>> = Kobj::create(0u64);
+                    let obj: ObjRef<Kobj<u64>> = match imp {
+                        RefImpl::Sharded => Kobj::create_sharded(0u64),
+                        _ => Kobj::create(0u64),
+                    };
                     let clones: Vec<_> = (0..fanout).map(|_| obj.clone()).collect();
                     drop(clones);
                     drop(obj);
@@ -418,6 +428,36 @@ pub fn refcount_churn(imp: RefImpl, threads: usize, iters: u64, fanout: usize) -
             });
             ops_per_sec(threads as u64 * iters, elapsed)
         }
+    }
+}
+
+/// E5 (adopted call sites): clone/release storm on the real kernel
+/// objects whose headers are sharded in production code — `Task` and
+/// `VmObject` — exercising the unchanged `ObjRef` protocol end to end.
+/// Returns ops/s (one op = clone + release).
+pub fn adopted_ref_storm(use_task: bool, threads: usize, iters: u64) -> f64 {
+    if use_task {
+        let task = Task::create();
+        assert!(task.header().is_sharded(), "Task must adopt the sharded count");
+        let elapsed = run_concurrent(threads, |_t| {
+            for _ in 0..iters {
+                let c = task.clone();
+                std::hint::black_box(&c);
+                drop(c);
+            }
+        });
+        ops_per_sec(threads as u64 * iters, elapsed)
+    } else {
+        let obj = VmObject::create();
+        assert!(obj.header().is_sharded(), "VmObject must adopt the sharded count");
+        let elapsed = run_concurrent(threads, |_t| {
+            for _ in 0..iters {
+                let c = obj.clone();
+                std::hint::black_box(&c);
+                drop(c);
+            }
+        });
+        ops_per_sec(threads as u64 * iters, elapsed)
     }
 }
 
@@ -722,6 +762,8 @@ mod tests {
             assert!(refcount_storm(imp, T, N) > 0.0);
             assert!(refcount_churn(imp, T, 200, 4) > 0.0);
         }
+        assert!(adopted_ref_storm(true, T, N) > 0.0);
+        assert!(adopted_ref_storm(false, T, N) > 0.0);
     }
 
     #[test]

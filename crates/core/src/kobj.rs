@@ -44,6 +44,17 @@ impl<S: Send + Sync + 'static> Kobj<S> {
         })
     }
 
+    /// Create the object with a sharded reference count
+    /// ([`ObjHeader::new_sharded`]) — for hot objects whose references
+    /// churn from many threads at once. Semantics are identical to
+    /// [`Kobj::create`]; only the count's contention behaviour differs.
+    pub fn create_sharded(state: S) -> ObjRef<Kobj<S>> {
+        ObjRef::new(Kobj {
+            header: ObjHeader::new_sharded(),
+            state: SimpleLocked::new(state),
+        })
+    }
+
     /// Lock the object and run `f` on its state **if it is active**,
     /// per the section-9 rule: "if an operation depends on the object
     /// not being deactivated, this must be checked whenever the object

@@ -50,5 +50,7 @@ pub use machk_event::{
     thread_sleep_guard, thread_wakeup, thread_wakeup_one, Event, ThreadHandle, WaitResult,
 };
 pub use machk_lock::{ComplexLock, HowHeld, RwData, UpgradeFailed};
-pub use machk_refcount::{Deactivated, DrainableCount, LockedRefCount, ObjHeader, ObjRef, Refable};
-pub use machk_sync::{Backoff, RawSimpleLock, SimpleLocked, SpinPolicy};
+pub use machk_refcount::{
+    Deactivated, DrainableCount, LockedRefCount, ObjHeader, ObjRef, Refable, ShardedRefCount,
+};
+pub use machk_sync::{AdaptiveSpin, Backoff, RawSimpleLock, SimpleLocked, SpinPolicy};

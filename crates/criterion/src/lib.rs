@@ -1,0 +1,277 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so the real criterion
+//! crate cannot be downloaded; this in-workspace substitute (selected via
+//! `[patch.crates-io]`) implements the API surface the repository's
+//! benches use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_with_input`, [`BenchmarkId::new`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs one warm-up
+//! iteration plus `sample_size` timed iterations and reports min / mean /
+//! max wall-clock time per iteration. A positional CLI filter (substring
+//! match on `group/name/param`) is honoured so `cargo bench <filter>`
+//! behaves as expected; unknown flags are ignored.
+
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (stable-Rust best effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter, rendered as
+/// `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// A parameter-only id (real criterion renders just the parameter).
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional (non-flag) CLI argument is a name filter, as in
+        // real criterion. Flags like --bench/--test are passed by cargo
+        // and ignored here, as are flag values we do not implement.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Configure the default number of samples (builder-style, for
+    /// `criterion_group!` config expressions).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Configure measurement time — accepted and ignored by the shim.
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement time — accepted and ignored by the shim.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `routine` with `input`, timing what it passes to
+    /// [`Bencher::iter`].
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    /// Run a no-input routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Finish the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark routines; times the closure given to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample (plus one untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<60} (no samples: Bencher::iter never called)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            fmt_dur(*min),
+            fmt_dur(mean),
+            fmt_dur(*max)
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("tas", 4).id, "tas/4");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(b.samples.len(), 3);
+        assert_eq!(runs, 4, "3 samples + 1 warm-up");
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        let mut hit = false;
+        g.bench_with_input(BenchmarkId::new("x", 1), &1, |b, &_i| {
+            b.iter(|| {});
+            hit = true;
+        });
+        g.finish();
+        assert!(hit);
+
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut g = c.benchmark_group("demo");
+        let mut hit = false;
+        g.bench_with_input(BenchmarkId::new("x", 1), &1, |b, &_i| {
+            b.iter(|| {});
+            hit = true;
+        });
+        g.finish();
+        assert!(!hit, "filter must skip non-matching benches");
+    }
+}

@@ -50,9 +50,14 @@ impl Refable for Task {
 
 impl Task {
     /// Create a task, returning the creation reference.
+    ///
+    /// Task references churn from every thread that names the task (IPC,
+    /// scheduling, termination), so the count is sharded — the paper's
+    /// take/release/destroy protocol is unchanged, only its contention
+    /// behaviour improves.
     pub fn create() -> ObjRef<Task> {
         ObjRef::new(Task {
-            header: ObjHeader::new(),
+            header: ObjHeader::new_sharded(),
             state: SimpleLocked::new(TaskState {
                 threads: Vec::new(),
                 suspend_count: 0,

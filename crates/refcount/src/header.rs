@@ -8,9 +8,11 @@
 //! simple or complex locks.
 
 use core::fmt;
-use core::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
 
 use machk_sync::RawSimpleLock;
+
+use crate::sharded::ShardedRefCount;
 
 /// Error returned by operations attempted on a deactivated object.
 ///
@@ -39,6 +41,11 @@ pub struct ObjHeader {
     lock: RawSimpleLock,
     refs: AtomicU32,
     active: AtomicBool,
+    /// Optional contention-scalable count, promoted at creation for hot
+    /// objects ([`ObjHeader::new_sharded`]). When set, it replaces `refs`
+    /// as the authoritative count; the deactivation protocol is
+    /// unaffected and stays on `lock` + `active`.
+    sharded: AtomicPtr<ShardedRefCount>,
 }
 
 impl ObjHeader {
@@ -50,7 +57,36 @@ impl ObjHeader {
             lock: RawSimpleLock::new(),
             refs: AtomicU32::new(1),
             active: AtomicBool::new(true),
+            sharded: AtomicPtr::new(core::ptr::null_mut()),
         }
+    }
+
+    /// A header whose reference count is sharded for contention
+    /// scalability (see [`ShardedRefCount`]). Behaviour is identical to
+    /// [`ObjHeader::new`] — one creation reference, active, same
+    /// take/release/deactivate interface — but takes and releases stop
+    /// serializing on the header lock. Use for objects whose references
+    /// churn from many threads at once (the kernel task, hot VM objects).
+    pub fn new_sharded() -> Self {
+        let header = ObjHeader::new();
+        header.sharded.store(
+            Box::into_raw(Box::new(ShardedRefCount::new())),
+            Ordering::Release,
+        );
+        header
+    }
+
+    /// The sharded count, if this header was promoted at creation.
+    #[inline]
+    fn sharded_count(&self) -> Option<&ShardedRefCount> {
+        // Acquire pairs with the Release store in `new_sharded`; the
+        // pointer never changes after construction.
+        unsafe { self.sharded.load(Ordering::Acquire).as_ref() }
+    }
+
+    /// Whether this header uses a sharded reference count.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded_count().is_some()
     }
 
     /// Acquire an additional reference: lock, increment, unlock.
@@ -62,6 +98,10 @@ impl ObjHeader {
     /// safe to touch the header at all); with zero references the object
     /// is being destroyed and the call panics.
     pub fn take_ref(&self) {
+        if let Some(sharded) = self.sharded_count() {
+            sharded.take();
+            return;
+        }
         let _g = self.lock.lock();
         let old = self.refs.load(Ordering::Relaxed);
         assert!(old > 0, "reference cloned from a dead object (count was 0)");
@@ -74,6 +114,9 @@ impl ObjHeader {
     /// that time").
     #[must_use]
     pub fn release_ref(&self) -> bool {
+        if let Some(sharded) = self.sharded_count() {
+            return sharded.release();
+        }
         let _g = self.lock.lock();
         let old = self.refs.load(Ordering::Relaxed);
         assert!(old > 0, "reference over-released");
@@ -83,7 +126,10 @@ impl ObjHeader {
 
     /// Current reference count (unlocked read; diagnostics only).
     pub fn ref_count(&self) -> u32 {
-        self.refs.load(Ordering::Relaxed)
+        match self.sharded_count() {
+            Some(sharded) => sharded.get(),
+            None => self.refs.load(Ordering::Relaxed),
+        }
     }
 
     /// Mark the object deactivated (section 10, shutdown step 1: "lock
@@ -128,6 +174,15 @@ impl ObjHeader {
 impl Default for ObjHeader {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for ObjHeader {
+    fn drop(&mut self) {
+        let sharded = *self.sharded.get_mut();
+        if !sharded.is_null() {
+            drop(unsafe { Box::from_raw(sharded) });
+        }
     }
 }
 
@@ -214,6 +269,48 @@ mod tests {
             }
         });
         assert_eq!(h.ref_count(), 1);
+    }
+
+    #[test]
+    fn sharded_header_matches_locked_semantics() {
+        let h = ObjHeader::new_sharded();
+        assert!(h.is_sharded());
+        assert_eq!(h.ref_count(), 1);
+        h.take_ref();
+        h.take_ref();
+        assert_eq!(h.ref_count(), 3);
+        assert!(!h.release_ref());
+        assert!(!h.release_ref());
+        assert!(h.release_ref(), "last release reports zero");
+        assert_eq!(h.ref_count(), 0);
+    }
+
+    #[test]
+    fn sharded_header_keeps_deactivation_protocol() {
+        let h = ObjHeader::new_sharded();
+        h.take_ref();
+        h.deactivate().unwrap();
+        assert_eq!(h.deactivate(), Err(Deactivated));
+        assert_eq!(h.ref_count(), 2);
+        assert!(!h.release_ref());
+        assert!(h.release_ref());
+    }
+
+    #[test]
+    fn sharded_concurrent_take_release_balance() {
+        let h = ObjHeader::new_sharded();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..5_000 {
+                        h.take_ref();
+                        assert!(!h.release_ref());
+                    }
+                });
+            }
+        });
+        assert_eq!(h.ref_count(), 1);
+        assert!(h.release_ref());
     }
 
     #[test]

@@ -50,6 +50,19 @@
 //! [`DrainableCount`] is that hybrid, generically: a count that
 //! operations hold while in flight and that exclusive operations can
 //! wait to drain.
+//!
+//! ## Sharded counts (beyond the paper)
+//!
+//! A single locked count serializes every take and release; for the few
+//! objects whose references churn from many threads at once, that lock
+//! becomes a contention point the paper's design never anticipated.
+//! [`ShardedRefCount`] stripes the count across cache-line-padded
+//! per-thread shards with a drain-to-exact slow path, so the final
+//! release is still detected exactly once (the section-8 destruction
+//! protocol is unchanged) while the common take/release never contends.
+//! Hot objects opt in at creation via [`ObjHeader::new_sharded`];
+//! everything downstream — [`ObjRef`], deactivation, destruction — is
+//! oblivious.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -57,7 +70,9 @@
 pub mod count;
 pub mod header;
 pub mod objref;
+pub mod sharded;
 
 pub use count::{DrainableCount, LockedRefCount};
 pub use header::{Deactivated, ObjHeader};
 pub use objref::{ObjRef, Refable};
+pub use sharded::ShardedRefCount;

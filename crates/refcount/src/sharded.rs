@@ -1,0 +1,299 @@
+//! Contention-scalable sharded reference counting.
+//!
+//! The paper's reference counts live in one integer under one simple lock
+//! ([`LockedRefCount`], [`ObjHeader`]); every take and release serializes
+//! on that lock, which is exactly right while objects are touched by one
+//! or two processors. For the hottest objects (the kernel's own task, a
+//! heavily shared memory object) the count becomes a contention point of
+//! its own. [`ShardedRefCount`] stripes the count so the common case never
+//! contends:
+//!
+//! * the live count is `base + Σ shards`, where each shard is a
+//!   cache-line-padded non-negative counter and `base` carries the
+//!   creation reference (`base ≥ 1` while the object is alive);
+//! * `take` / `release` adjust the calling thread's shard with a single
+//!   uncontended atomic — no lock, no shared line with other threads;
+//! * a release that finds its shard empty falls back to a slow path under
+//!   a drain lock: it consumes `base` surplus if any, and otherwise
+//!   **drains to exact** — every shard is swapped to a [`CLOSED`] sentinel
+//!   (diverting all fast paths to the slow path), outstanding
+//!   contributions are summed and folded into `base`, and the shards are
+//!   reopened. Only this drained, fully-serialized state can observe the
+//!   count hitting zero, so *the final release is detected exactly once*,
+//!   deterministically — the property the whole destruction protocol of
+//!   section 8 rests on.
+//!
+//! A racy "sum all shards and check for zero" scheme does not work: a
+//! live reference can move between shards mid-scan (cloned on one thread,
+//! released on another) and make the sum transiently zero while the
+//! object is still referenced. Closing the shards first is what makes the
+//! sum exact.
+//!
+//! [`LockedRefCount`]: crate::LockedRefCount
+//! [`ObjHeader`]: crate::ObjHeader
+//! [`CLOSED`]: self#drain-protocol
+
+use core::fmt;
+use core::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use machk_sync::RawSimpleLock;
+
+/// Number of count shards. Eight covers the span of per-object
+/// parallelism this reproduction simulates; the slot a thread uses is
+/// assigned round-robin at first use, so threads spread evenly.
+const NSHARDS: usize = 8;
+
+/// Shard sentinel: the shard is closed because a drain is in progress
+/// (or just finished); fast paths must divert to the drain lock. Doubles
+/// as an unreachable upper bound for real contributions.
+const CLOSED: u32 = u32::MAX;
+
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD_SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % NSHARDS;
+}
+
+fn shard_index() -> usize {
+    SHARD_SLOT.with(|s| *s)
+}
+
+/// One shard, padded to a cache line pair so neighbouring shards never
+/// share a line (128 bytes covers adjacent-line prefetching).
+#[repr(align(128))]
+struct Shard(AtomicU32);
+
+/// A reference count striped across per-thread shards, with a
+/// drain-to-exact slow path that detects the final release exactly once.
+///
+/// Drop-in for the hot-object role of a locked count: `take` mirrors
+/// "acquiring a reference never blocks" (it is a single uncontended
+/// atomic), `release` returns `true` for exactly one caller — the one
+/// that must destroy the object. The exactness argument is in the module
+/// documentation.
+///
+/// Like every count in this crate, it counts references; it does not
+/// replace the deactivation protocol, which stays on the object header's
+/// lock and active flag.
+pub struct ShardedRefCount {
+    /// Per-thread-slot contributions; non-negative, [`CLOSED`] while a
+    /// drain has them closed.
+    shards: [Shard; NSHARDS],
+    /// The exact remainder: creation reference plus whatever drains have
+    /// folded in, minus slow-path releases. `base ≥ 1` while alive; the
+    /// count is dead exactly when `base == 0`.
+    base: AtomicU32,
+    /// Serializes every slow path; held for the full drain, so a closed
+    /// shard always means "the holder of this lock is reconciling".
+    drain_lock: RawSimpleLock,
+}
+
+impl ShardedRefCount {
+    /// A count holding the creation reference ("an object is created with
+    /// a single reference to itself").
+    pub fn new() -> ShardedRefCount {
+        ShardedRefCount {
+            shards: [const { Shard(AtomicU32::new(0)) }; NSHARDS],
+            base: AtomicU32::new(1),
+            drain_lock: RawSimpleLock::new(),
+        }
+    }
+
+    /// Acquire an additional reference. Never blocks on other takers or
+    /// releasers of different shards; only a concurrent drain diverts it
+    /// to the drain lock.
+    ///
+    /// The caller must already hold a reference (the usual section-8
+    /// contract — that is what makes the count reachable at all).
+    pub fn take(&self) {
+        let shard = &self.shards[shard_index()].0;
+        let mut seen = shard.load(Ordering::Relaxed);
+        // CLOSED - 1 also diverts: incrementing it would collide with the
+        // sentinel.
+        while seen < CLOSED - 1 {
+            match shard.compare_exchange_weak(
+                seen,
+                seen + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(v) => seen = v,
+            }
+        }
+        self.take_slow();
+    }
+
+    #[cold]
+    fn take_slow(&self) {
+        let _g = self.drain_lock.lock();
+        let base = self.base.load(Ordering::Relaxed);
+        assert!(base >= 1, "reference taken on a dead object (count was 0)");
+        self.base.store(base + 1, Ordering::Relaxed);
+    }
+
+    /// Release one reference. Returns `true` iff this was the final
+    /// reference — for exactly one caller over the count's lifetime; the
+    /// object must be destroyed by that caller.
+    #[must_use]
+    pub fn release(&self) -> bool {
+        let shard = &self.shards[shard_index()].0;
+        let mut seen = shard.load(Ordering::Relaxed);
+        while seen != 0 && seen != CLOSED {
+            match shard.compare_exchange_weak(
+                seen,
+                seen - 1,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return false,
+                Err(v) => seen = v,
+            }
+        }
+        self.release_slow()
+    }
+
+    #[cold]
+    fn release_slow(&self) -> bool {
+        let _g = self.drain_lock.lock();
+        let base = self.base.load(Ordering::Relaxed);
+        assert!(base >= 1, "reference over-released");
+        if base > 1 {
+            // Surplus in the exact remainder; consume it, clearly not
+            // final.
+            self.base.store(base - 1, Ordering::Relaxed);
+            return false;
+        }
+        // base == 1: releasing the last *known-exact* reference. Drain to
+        // exact: close every shard so no fast path can move a
+        // contribution while we sum. The AcqRel swap picks up the release
+        // chain on each shard, so everything published by prior releases
+        // is visible before a potential destruction.
+        let mut outstanding: u64 = 0;
+        for s in &self.shards {
+            let v = s.0.swap(CLOSED, Ordering::AcqRel);
+            debug_assert_ne!(v, CLOSED, "concurrent drain under the drain lock");
+            outstanding += u64::from(v);
+        }
+        let final_release = outstanding == 0;
+        // Fold: old count = 1 (base) + outstanding; new count after this
+        // release = outstanding, carried entirely by base.
+        self.base
+            .store(u32::try_from(outstanding).expect("refcount overflow"), Ordering::Relaxed);
+        for s in &self.shards {
+            s.0.store(0, Ordering::Release);
+        }
+        final_release
+    }
+
+    /// Approximate current count: `base` plus the open shards. Skips
+    /// shards closed by a concurrent drain, and the parts can move while
+    /// being summed — diagnostics only, like
+    /// [`ObjHeader::ref_count`](crate::ObjHeader::ref_count).
+    pub fn get(&self) -> u32 {
+        let mut sum = u64::from(self.base.load(Ordering::Relaxed));
+        for s in &self.shards {
+            let v = s.0.load(Ordering::Relaxed);
+            if v != CLOSED {
+                sum += u64::from(v);
+            }
+        }
+        u32::try_from(sum).unwrap_or(u32::MAX)
+    }
+}
+
+impl Default for ShardedRefCount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ShardedRefCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedRefCount")
+            .field("approx", &self.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_creation_reference() {
+        let c = ShardedRefCount::new();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn final_release_detected() {
+        let c = ShardedRefCount::new();
+        c.take();
+        c.take();
+        assert!(!c.release());
+        assert!(!c.release());
+        assert!(c.release(), "last release must report final");
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-released")]
+    fn release_after_final_panics() {
+        let c = ShardedRefCount::new();
+        assert!(c.release());
+        let _ = c.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "dead object")]
+    fn take_on_dead_count_panics() {
+        let c = ShardedRefCount::new();
+        assert!(c.release());
+        // Only reachable through the slow path, so force it there by
+        // exhausting the fast path: a dead count's shards are all zero,
+        // and take's fast path would succeed — the liveness check is the
+        // slow path's. Route there via a drained shard state.
+        c.take_slow();
+    }
+
+    #[test]
+    fn cross_thread_handoff_balances() {
+        // A reference taken on one thread and released on another moves
+        // between shards; the drain must still find the exact count.
+        let c = ShardedRefCount::new();
+        std::thread::scope(|s| {
+            let taker = s.spawn(|| {
+                for _ in 0..10_000 {
+                    c.take();
+                }
+            });
+            taker.join().unwrap();
+            let releaser = s.spawn(|| {
+                for _ in 0..10_000 {
+                    assert!(!c.release());
+                }
+            });
+            releaser.join().unwrap();
+        });
+        assert_eq!(c.get(), 1);
+        assert!(c.release());
+    }
+
+    #[test]
+    fn concurrent_churn_is_exact() {
+        let c = ShardedRefCount::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..20_000 {
+                        c.take();
+                        assert!(!c.release(), "final release while creator ref alive");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 1);
+        assert!(c.release());
+    }
+}

@@ -38,6 +38,22 @@
 //! bounded exponential backoff ([`Backoff`]); experiment **E1** in the
 //! repository benchmark suite contrasts them.
 //!
+//! ## Queued policies (beyond the paper)
+//!
+//! Word-spinning policies collapse under sustained contention: every
+//! release invalidates the lock line in every waiter's cache and admission
+//! order is a free-for-all. Two queued policies address this behind the
+//! same interface (see the [`queued`] module for the mechanics):
+//!
+//! * **Ticket** ([`SpinPolicy::Ticket`]) — FIFO admission via a
+//!   draw-a-ticket counter.
+//! * **MCS** ([`SpinPolicy::Mcs`]) — FIFO admission *and* local spinning
+//!   on per-waiter queue nodes (Mellor-Crummey & Scott, 1991).
+//!
+//! All contended waits additionally escalate spin → yield → park under the
+//! per-lock [`AdaptiveSpin`] thresholds, since this reproduction's
+//! "processors" are preemptible OS threads.
+//!
 //! ## Usage rules carried over from the paper
 //!
 //! * Simple locks may not be held across blocking operations or context
@@ -63,13 +79,14 @@
 
 pub mod held;
 pub mod policy;
+pub mod queued;
 pub mod raw;
 pub mod seq;
 pub mod simple;
 pub mod simple_locked;
 pub mod stats;
 
-pub use policy::{Backoff, SpinPolicy};
+pub use policy::{AdaptiveSpin, Backoff, SpinPolicy};
 pub use raw::{RawSimpleLock, SimpleGuard};
 pub use seq::{SeqCell, SeqWriter};
 pub use simple::{simple_lock, simple_lock_init, simple_lock_try, simple_unlock};

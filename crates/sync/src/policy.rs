@@ -32,11 +32,38 @@ pub enum SpinPolicy {
     /// refined choice.
     #[default]
     TasThenTtas,
+    /// FIFO ticket lock: acquirers draw a ticket with one atomic add and
+    /// wait for the "now serving" counter to reach it.
+    ///
+    /// Not in the paper — tickets are the first step beyond TTAS once
+    /// contention makes fairness matter: arrival order is admission order,
+    /// so no waiter starves, and release is a single non-atomic-width
+    /// counter bump rather than a cache-line brawl.
+    Ticket,
+    /// MCS queue lock (Mellor-Crummey & Scott, 1991 — the same year as the
+    /// paper): waiters form an explicit queue and each spins on a flag in
+    /// its *own* node.
+    ///
+    /// This gives FIFO admission like [`SpinPolicy::Ticket`] plus local
+    /// spinning: under heavy contention each waiter touches only its own
+    /// cache line until its predecessor hands the lock over, so coherence
+    /// traffic stays O(1) per handoff instead of O(waiters).
+    Mcs,
 }
 
 impl SpinPolicy {
     /// All policies, in presentation order — convenient for benchmark sweeps.
-    pub const ALL: [SpinPolicy; 3] = [SpinPolicy::Tas, SpinPolicy::Ttas, SpinPolicy::TasThenTtas];
+    pub const ALL: [SpinPolicy; 5] = [
+        SpinPolicy::Tas,
+        SpinPolicy::Ttas,
+        SpinPolicy::TasThenTtas,
+        SpinPolicy::Ticket,
+        SpinPolicy::Mcs,
+    ];
+
+    /// The paper's three word-spinning policies (section 2), without the
+    /// queued additions — the sweep the original experiments cover.
+    pub const SPIN: [SpinPolicy; 3] = [SpinPolicy::Tas, SpinPolicy::Ttas, SpinPolicy::TasThenTtas];
 
     /// Short human-readable name used in experiment tables.
     pub fn name(self) -> &'static str {
@@ -44,7 +71,15 @@ impl SpinPolicy {
             SpinPolicy::Tas => "tas",
             SpinPolicy::Ttas => "ttas",
             SpinPolicy::TasThenTtas => "tas+ttas",
+            SpinPolicy::Ticket => "ticket",
+            SpinPolicy::Mcs => "mcs",
         }
+    }
+
+    /// Whether this policy queues waiters (FIFO admission) rather than
+    /// spinning all of them on the shared lock word.
+    pub fn is_queued(self) -> bool {
+        matches!(self, SpinPolicy::Ticket | SpinPolicy::Mcs)
     }
 }
 
@@ -85,6 +120,93 @@ impl Default for Backoff {
     }
 }
 
+/// Spin-then-yield escalation thresholds for contended waits.
+///
+/// Mach's simple locks spin unconditionally because the holder is, by
+/// construction, *running on another processor*. In this reproduction the
+/// "processors" are OS threads that may be preempted while holding a lock —
+/// on an oversubscribed (or single-CPU) host an unbounded spin would burn a
+/// full scheduler quantum per acquisition. Every contended wait therefore
+/// escalates in three stages: `spin_limit` pause-hint spins (the paper's
+/// regime), then `yield_limit` voluntary reschedules, then short parks of
+/// `park_micros` each. The thresholds are per-lock configuration (see
+/// [`RawSimpleLock::with_adaptive`]) so experiments can ablate them; the
+/// defaults keep short-contention behaviour — what the paper's TAS/TTAS
+/// discussion is about — untouched.
+///
+/// [`RawSimpleLock::with_adaptive`]: crate::RawSimpleLock::with_adaptive
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveSpin {
+    /// Consecutive pause-hint spins before the first yield. Zero yields
+    /// immediately.
+    pub spin_limit: u32,
+    /// Voluntary reschedules after the spin phase before parking.
+    pub yield_limit: u32,
+    /// Length of each park once both limits are exhausted, in
+    /// microseconds. Zero keeps yielding forever instead of parking.
+    pub park_micros: u64,
+}
+
+impl AdaptiveSpin {
+    /// Default escalation: 256 spins, 64 yields, then 50µs parks.
+    pub const DEFAULT: AdaptiveSpin = AdaptiveSpin {
+        spin_limit: 256,
+        yield_limit: 64,
+        park_micros: 50,
+    };
+
+    /// Never leave the spin phase — the paper's unconditional spin.
+    /// Only safe when holders cannot be preempted (or in short tests).
+    pub const SPIN_ONLY: AdaptiveSpin = AdaptiveSpin {
+        spin_limit: u32::MAX,
+        yield_limit: u32::MAX,
+        park_micros: 0,
+    };
+}
+
+impl Default for AdaptiveSpin {
+    fn default() -> Self {
+        AdaptiveSpin::DEFAULT
+    }
+}
+
+/// Per-wait escalation state machine over an [`AdaptiveSpin`] config.
+///
+/// One `Spinner` tracks a single continuous wait; call [`relax`] once per
+/// failed check of the awaited condition.
+///
+/// [`relax`]: Spinner::relax
+pub(crate) struct Spinner {
+    config: AdaptiveSpin,
+    spins: u32,
+    yields: u32,
+}
+
+impl Spinner {
+    #[inline]
+    pub(crate) fn new(config: AdaptiveSpin) -> Spinner {
+        Spinner {
+            config,
+            spins: 0,
+            yields: 0,
+        }
+    }
+
+    /// Wait a little, escalating spin → yield → park across calls.
+    #[inline]
+    pub(crate) fn relax(&mut self) {
+        if self.spins < self.config.spin_limit {
+            self.spins += 1;
+            core::hint::spin_loop();
+        } else if self.yields < self.config.yield_limit || self.config.park_micros == 0 {
+            self.yields = self.yields.saturating_add(1);
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(self.config.park_micros));
+        }
+    }
+}
+
 /// State values stored in the lock word.
 pub(crate) const UNLOCKED: u32 = 0;
 pub(crate) const LOCKED: u32 = 1;
@@ -93,16 +215,19 @@ pub(crate) const LOCKED: u32 = 1;
 ///
 /// Returns the number of failed attempts (0 means first-try success),
 /// which the instrumented wrapper uses for contention statistics.
+/// Queued policies do not spin on the lock word; their acquisition lives
+/// in [`crate::queued`] and the caller must dispatch there instead.
 #[inline]
-pub(crate) fn acquire(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) -> u64 {
+pub(crate) fn acquire(
+    word: &AtomicU32,
+    policy: SpinPolicy,
+    backoff: Backoff,
+    adaptive: AdaptiveSpin,
+) -> u64 {
+    debug_assert!(!policy.is_queued(), "queued policies dispatch via queued::QueuedState");
     // First attempt: TAS-flavoured policies go straight to the atomic op;
     // pure TTAS tests first even on the first attempt.
     match policy {
-        SpinPolicy::Tas | SpinPolicy::TasThenTtas => {
-            if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
-                return 0;
-            }
-        }
         SpinPolicy::Ttas => {
             if word.load(Ordering::Relaxed) == UNLOCKED
                 && word.swap(LOCKED, Ordering::Acquire) == UNLOCKED
@@ -110,27 +235,21 @@ pub(crate) fn acquire(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) ->
                 return 0;
             }
         }
+        _ => {
+            if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
+                return 0;
+            }
+        }
     }
-    acquire_slow(word, policy, backoff)
+    acquire_slow(word, policy, backoff, adaptive)
 }
-
-/// Bound on consecutive local spins before yielding the host thread.
-///
-/// Mach's simple locks spin unconditionally because the holder is, by
-/// construction, *running on another processor*. In this reproduction
-/// the "processors" are OS threads that may be preempted while holding
-/// a lock — on an oversubscribed (or single-CPU) host an unbounded spin
-/// would then burn a full scheduler quantum per acquisition. Yielding
-/// after a bounded spin is the standard virtualization adaptation; it
-/// leaves short-contention behaviour (what the paper's TAS/TTAS
-/// discussion is about) untouched.
-const SPIN_YIELD_LIMIT: u32 = 256;
 
 /// Contended path, kept out of line so the uncontended path stays small.
 #[cold]
-fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) -> u64 {
+fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff, adaptive: AdaptiveSpin) -> u64 {
     let mut failures: u64 = 1;
     let mut pause = backoff.initial;
+    let mut spinner = Spinner::new(adaptive);
     loop {
         match policy {
             SpinPolicy::Tas => {
@@ -138,21 +257,12 @@ fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) -> u64 {
                 if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
                     return failures;
                 }
-                if failures.is_multiple_of(SPIN_YIELD_LIMIT as u64) {
-                    std::thread::yield_now();
-                }
+                spinner.relax();
             }
-            SpinPolicy::Ttas | SpinPolicy::TasThenTtas => {
+            _ => {
                 // Spin locally until the lock looks free...
-                let mut spins = 0u32;
                 while word.load(Ordering::Relaxed) != UNLOCKED {
-                    core::hint::spin_loop();
-                    spins += 1;
-                    if spins >= SPIN_YIELD_LIMIT {
-                        // The holder may be descheduled: let it run.
-                        std::thread::yield_now();
-                        spins = 0;
-                    }
+                    spinner.relax();
                 }
                 // ...then make the atomic attempt.
                 if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
@@ -166,8 +276,6 @@ fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff) -> u64 {
                 core::hint::spin_loop();
             }
             pause = (pause * 2).min(backoff.max);
-        } else {
-            core::hint::spin_loop();
         }
     }
 }
@@ -197,7 +305,16 @@ mod tests {
         let mut names: Vec<_> = SpinPolicy::ALL.iter().map(|p| p.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), SpinPolicy::ALL.len());
+    }
+
+    #[test]
+    fn queued_classification() {
+        assert!(SpinPolicy::Ticket.is_queued());
+        assert!(SpinPolicy::Mcs.is_queued());
+        for policy in SpinPolicy::SPIN {
+            assert!(!policy.is_queued());
+        }
     }
 
     #[test]
@@ -213,9 +330,9 @@ mod tests {
 
     #[test]
     fn acquire_uncontended_reports_zero_failures() {
-        for policy in SpinPolicy::ALL {
+        for policy in SpinPolicy::SPIN {
             let word = AtomicU32::new(UNLOCKED);
-            assert_eq!(acquire(&word, policy, Backoff::NONE), 0);
+            assert_eq!(acquire(&word, policy, Backoff::NONE, AdaptiveSpin::DEFAULT), 0);
             assert_eq!(word.load(Ordering::Relaxed), LOCKED);
             release(&word);
             assert_eq!(word.load(Ordering::Relaxed), UNLOCKED);
@@ -234,14 +351,14 @@ mod tests {
     #[test]
     fn contended_acquire_eventually_succeeds() {
         use std::sync::atomic::AtomicU64;
-        for policy in SpinPolicy::ALL {
+        for policy in SpinPolicy::SPIN {
             let word = AtomicU32::new(UNLOCKED);
             let counter = AtomicU64::new(0);
             std::thread::scope(|s| {
                 for _ in 0..4 {
                     s.spawn(|| {
                         for _ in 0..1000 {
-                            acquire(&word, policy, Backoff::DEFAULT);
+                            acquire(&word, policy, Backoff::DEFAULT, AdaptiveSpin::DEFAULT);
                             counter.fetch_add(1, Ordering::Relaxed);
                             release(&word);
                         }

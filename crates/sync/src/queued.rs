@@ -1,0 +1,376 @@
+//! Queued acquisition state for [`SpinPolicy::Ticket`] and
+//! [`SpinPolicy::Mcs`].
+//!
+//! The paper's simple locks spin every waiter on the shared lock word
+//! (section 2); that is fast when contention is rare but collapses under
+//! sustained contention — each release invalidates the line in every
+//! waiter's cache, and admission order is whoever's test-and-set lands
+//! first. The two queued policies fix both problems while staying behind
+//! the unchanged `simple_lock` interface:
+//!
+//! * **Ticket** — one atomic add draws a ticket; waiters watch a "now
+//!   serving" counter. FIFO, one shared line, trivial release.
+//! * **MCS** — waiters link themselves into an explicit queue and each
+//!   spins on a flag in its *own* node, so a release touches exactly one
+//!   waiter's line (Mellor-Crummey & Scott, 1991).
+//!
+//! Both live in a `QueuedState` (crate-private) embedded in every
+//! [`RawSimpleLock`]; the lock's `word` is kept as a locked/unlocked
+//! mirror so `is_locked`, the debug holder checks, and the macro
+//! initializers keep working regardless of policy.
+//!
+//! # MCS node lifetime
+//!
+//! Classic MCS threads a queue-node argument through acquire and release.
+//! `simple_unlock` takes no such argument, so nodes come from a
+//! thread-local pool and the lock records the holder's node in
+//! `owner_node`. This is sound because a simple lock must be released by
+//! the thread that acquired it (guards are `!Send`; `unlock_raw` asserts
+//! it in debug builds), so the node returns to the pool it came from, and
+//! a node is only ever reachable from the queue between its enqueue and
+//! its handoff.
+//!
+//! [`SpinPolicy::Ticket`]: crate::SpinPolicy::Ticket
+//! [`SpinPolicy::Mcs`]: crate::SpinPolicy::Mcs
+//! [`RawSimpleLock`]: crate::RawSimpleLock
+
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::cell::RefCell;
+
+use crate::policy::{AdaptiveSpin, Spinner, LOCKED, UNLOCKED};
+
+/// Ticket word layout: `[next:16 | owner:16]`.
+///
+/// Drawing a ticket is `fetch_add(TICKET_NEXT)`; the u32 wrap discards the
+/// carry out of the high half, so the owner bits are never corrupted and
+/// both halves wrap at 65536 in lockstep (waiter counts stay far below
+/// that).
+const TICKET_NEXT: u32 = 1 << 16;
+const OWNER_MASK: u32 = 0xFFFF;
+
+/// One waiter's place in the MCS queue.
+pub(crate) struct McsNode {
+    next: AtomicPtr<McsNode>,
+    /// 1 while waiting for the predecessor's handoff, 0 once admitted.
+    waiting: AtomicU32,
+}
+
+impl McsNode {
+    fn new() -> McsNode {
+        McsNode {
+            next: AtomicPtr::new(ptr::null_mut()),
+            waiting: AtomicU32::new(0),
+        }
+    }
+}
+
+/// Thread-local free list of MCS nodes (one entry per lock this thread
+/// currently holds or waits on, so it stays tiny).
+struct NodePool(Vec<*mut McsNode>);
+
+impl NodePool {
+    fn get(&mut self) -> *mut McsNode {
+        self.0
+            .pop()
+            .unwrap_or_else(|| Box::into_raw(Box::new(McsNode::new())))
+    }
+
+    fn put(&mut self, node: *mut McsNode) {
+        self.0.push(node);
+    }
+}
+
+impl Drop for NodePool {
+    fn drop(&mut self) {
+        // Free nodes are unreachable from any queue, so reclaiming them at
+        // thread exit cannot race with a waiter.
+        for node in self.0.drain(..) {
+            drop(unsafe { Box::from_raw(node) });
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<NodePool> = const { RefCell::new(NodePool(Vec::new())) };
+}
+
+fn node_get() -> *mut McsNode {
+    POOL.with(|p| p.borrow_mut().get())
+}
+
+fn node_put(node: *mut McsNode) {
+    POOL.with(|p| p.borrow_mut().put(node));
+}
+
+/// Queue state embedded in every [`RawSimpleLock`]; quiescent (all zero /
+/// null) unless the lock's policy is queued.
+///
+/// [`RawSimpleLock`]: crate::RawSimpleLock
+pub(crate) struct QueuedState {
+    /// Ticket policy: `[next:16 | owner:16]`.
+    ticket: AtomicU32,
+    /// MCS policy: queue tail, null when uncontended.
+    tail: AtomicPtr<McsNode>,
+    /// MCS policy: the holder's node, consumed by release.
+    owner_node: AtomicPtr<McsNode>,
+    /// Waiters currently registered on a contended path. Updated only on
+    /// those paths (the uncontended fast path never touches it); the
+    /// `Release` increment is sequenced after the waiter takes its queue
+    /// position, so observing `waiters() == n` (Acquire) proves the first
+    /// `n` registrants' admission order is fixed — the fairness tests
+    /// rely on this.
+    waiters: AtomicU32,
+}
+
+impl QueuedState {
+    pub(crate) const fn new() -> QueuedState {
+        QueuedState {
+            ticket: AtomicU32::new(0),
+            tail: AtomicPtr::new(ptr::null_mut()),
+            owner_node: AtomicPtr::new(ptr::null_mut()),
+            waiters: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of registered contended waiters (racy; tests and stats only).
+    pub(crate) fn waiters(&self) -> u32 {
+        self.waiters.load(Ordering::Acquire)
+    }
+
+    /// Reset to quiescent for `simple_lock_init` on an unheld lock.
+    pub(crate) fn reset(&self) {
+        self.ticket.store(0, Ordering::Relaxed);
+        self.tail.store(ptr::null_mut(), Ordering::Relaxed);
+        self.owner_node.store(ptr::null_mut(), Ordering::Relaxed);
+        self.waiters.store(0, Ordering::Relaxed);
+    }
+
+    // --- Ticket -----------------------------------------------------------
+
+    /// Blocking ticket acquisition; returns the number of wait rounds
+    /// (0 = admitted immediately) for the contention statistics.
+    pub(crate) fn ticket_acquire(&self, word: &AtomicU32, adaptive: AdaptiveSpin) -> u64 {
+        let drawn = self.ticket.fetch_add(TICKET_NEXT, Ordering::Acquire);
+        let my_turn = drawn >> 16;
+        if drawn & OWNER_MASK == my_turn {
+            word.store(LOCKED, Ordering::Relaxed);
+            return 0;
+        }
+        self.ticket_wait(my_turn, word, adaptive)
+    }
+
+    #[cold]
+    fn ticket_wait(&self, my_turn: u32, word: &AtomicU32, adaptive: AdaptiveSpin) -> u64 {
+        self.waiters.fetch_add(1, Ordering::Release);
+        let mut spinner = Spinner::new(adaptive);
+        let mut rounds: u64 = 0;
+        while self.ticket.load(Ordering::Acquire) & OWNER_MASK != my_turn {
+            rounds += 1;
+            spinner.relax();
+        }
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        word.store(LOCKED, Ordering::Relaxed);
+        rounds.max(1)
+    }
+
+    /// Single ticket acquisition attempt: only succeeds when no one is
+    /// waiting (drawing a ticket would otherwise commit us to the queue).
+    pub(crate) fn ticket_try(&self, word: &AtomicU32) -> bool {
+        let cur = self.ticket.load(Ordering::Relaxed);
+        if cur >> 16 != cur & OWNER_MASK {
+            return false; // held or queued
+        }
+        let ok = self
+            .ticket
+            .compare_exchange(
+                cur,
+                cur.wrapping_add(TICKET_NEXT),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok();
+        if ok {
+            word.store(LOCKED, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    pub(crate) fn ticket_release(&self, word: &AtomicU32) {
+        word.store(UNLOCKED, Ordering::Relaxed);
+        // Advance "now serving". A plain add could carry into the `next`
+        // half when owner wraps at 0xFFFF, so compose the halves manually;
+        // the CAS loop absorbs concurrent ticket draws.
+        let mut cur = self.ticket.load(Ordering::Relaxed);
+        loop {
+            let advanced = (cur & !OWNER_MASK) | (cur.wrapping_add(1) & OWNER_MASK);
+            match self.ticket.compare_exchange_weak(
+                cur,
+                advanced,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    // --- MCS --------------------------------------------------------------
+
+    /// Blocking MCS acquisition; returns the number of wait rounds
+    /// (0 = queue was empty) for the contention statistics.
+    pub(crate) fn mcs_acquire(&self, word: &AtomicU32, adaptive: AdaptiveSpin) -> u64 {
+        let node = node_get();
+        // The node is ours alone until the tail swap publishes it.
+        unsafe {
+            (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+            (*node).waiting.store(1, Ordering::Relaxed);
+        }
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        let rounds = if prev.is_null() {
+            0
+        } else {
+            self.mcs_wait(prev, node, adaptive)
+        };
+        word.store(LOCKED, Ordering::Relaxed);
+        self.owner_node.store(node, Ordering::Relaxed);
+        rounds
+    }
+
+    #[cold]
+    fn mcs_wait(&self, prev: *mut McsNode, node: *mut McsNode, adaptive: AdaptiveSpin) -> u64 {
+        self.waiters.fetch_add(1, Ordering::Release);
+        // Link behind the predecessor, then spin on our own flag — the
+        // local spinning that distinguishes MCS from every word-spinning
+        // policy.
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+        let mut spinner = Spinner::new(adaptive);
+        let mut rounds: u64 = 0;
+        while unsafe { (*node).waiting.load(Ordering::Acquire) } != 0 {
+            rounds += 1;
+            spinner.relax();
+        }
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        rounds.max(1)
+    }
+
+    /// Single MCS acquisition attempt: enqueue only if the queue is empty.
+    pub(crate) fn mcs_try(&self, word: &AtomicU32) -> bool {
+        let node = node_get();
+        unsafe {
+            (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+            (*node).waiting.store(1, Ordering::Relaxed);
+        }
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                word.store(LOCKED, Ordering::Relaxed);
+                self.owner_node.store(node, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                node_put(node);
+                false
+            }
+        }
+    }
+
+    pub(crate) fn mcs_release(&self, word: &AtomicU32) {
+        let node = self.owner_node.swap(ptr::null_mut(), Ordering::Relaxed);
+        debug_assert!(!node.is_null(), "MCS release without a holder node");
+        word.store(UNLOCKED, Ordering::Relaxed);
+        unsafe {
+            let mut next = (*node).next.load(Ordering::Acquire);
+            if next.is_null() {
+                // No visible successor: try to close the queue.
+                if self
+                    .tail
+                    .compare_exchange(node, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    node_put(node);
+                    return;
+                }
+                // A successor swapped the tail but has not linked yet;
+                // its store is imminent.
+                loop {
+                    next = (*node).next.load(Ordering::Acquire);
+                    if !next.is_null() {
+                        break;
+                    }
+                    core::hint::spin_loop();
+                }
+            }
+            // Hand off: the successor's Acquire load of `waiting`
+            // synchronizes with this store, publishing the critical
+            // section. Past this store the successor no longer touches
+            // our node, so it can be recycled.
+            (*next).waiting.store(0, Ordering::Release);
+            node_put(node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_word_wraps_without_corrupting_owner() {
+        let q = QueuedState::new();
+        // Park the packed word just below the next-half wrap point.
+        q.ticket.store(0xFFFF_u32 << 16 | 0xFFFF, Ordering::Relaxed);
+        let word = AtomicU32::new(UNLOCKED);
+        assert_eq!(q.ticket_acquire(&word, AdaptiveSpin::DEFAULT), 0);
+        q.ticket_release(&word);
+        // Both halves wrapped to zero in lockstep: lock is free again.
+        assert_eq!(q.ticket.load(Ordering::Relaxed), 0);
+        assert!(q.ticket_try(&word));
+    }
+
+    #[test]
+    fn ticket_try_fails_while_held() {
+        let q = QueuedState::new();
+        let word = AtomicU32::new(UNLOCKED);
+        assert!(q.ticket_try(&word));
+        assert!(!q.ticket_try(&word));
+        q.ticket_release(&word);
+        assert!(q.ticket_try(&word));
+        q.ticket_release(&word);
+    }
+
+    #[test]
+    fn mcs_try_fails_while_held() {
+        let q = QueuedState::new();
+        let word = AtomicU32::new(UNLOCKED);
+        assert!(q.mcs_try(&word));
+        assert!(!q.mcs_try(&word));
+        q.mcs_release(&word);
+        assert!(q.mcs_try(&word));
+        q.mcs_release(&word);
+    }
+
+    #[test]
+    fn mcs_handoff_chain() {
+        let q = QueuedState::new();
+        let word = AtomicU32::new(UNLOCKED);
+        let admitted = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        q.mcs_acquire(&word, AdaptiveSpin::DEFAULT);
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                        q.mcs_release(&word);
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 8_000);
+        assert!(q.tail.load(Ordering::Relaxed).is_null());
+        assert_eq!(q.waiters(), 0);
+    }
+}

@@ -11,7 +11,8 @@ use core::fmt;
 use core::sync::atomic::{AtomicU32, Ordering};
 
 use crate::held;
-use crate::policy::{self, Backoff, SpinPolicy};
+use crate::policy::{self, AdaptiveSpin, Backoff, SpinPolicy};
+use crate::queued::QueuedState;
 
 /// A Mach simple lock: a spinning, non-blocking mutual exclusion lock.
 ///
@@ -43,9 +44,17 @@ use crate::policy::{self, Backoff, SpinPolicy};
 /// assert!(!lock.is_locked());
 /// ```
 pub struct RawSimpleLock {
+    /// Locked/unlocked state. Authoritative for the word-spinning
+    /// policies; a mirror maintained by the holder for the queued ones,
+    /// so [`is_locked`] and the debug holder checks are policy-agnostic.
+    ///
+    /// [`is_locked`]: RawSimpleLock::is_locked
     word: AtomicU32,
     policy: SpinPolicy,
     backoff: Backoff,
+    adaptive: AdaptiveSpin,
+    /// Ticket/MCS queue state; quiescent for word-spinning policies.
+    queued: QueuedState,
     /// Debug-only: `ThreadId` hash of the holder, to catch self-deadlock.
     #[cfg(debug_assertions)]
     holder: AtomicU32,
@@ -60,10 +69,18 @@ impl RawSimpleLock {
 
     /// Create an unlocked simple lock with an explicit spin policy.
     pub const fn with_policy(policy: SpinPolicy, backoff: Backoff) -> Self {
+        Self::with_adaptive(policy, backoff, AdaptiveSpin::DEFAULT)
+    }
+
+    /// Create an unlocked simple lock with explicit spin policy and
+    /// spin-then-yield escalation thresholds.
+    pub const fn with_adaptive(policy: SpinPolicy, backoff: Backoff, adaptive: AdaptiveSpin) -> Self {
         RawSimpleLock {
             word: AtomicU32::new(policy::UNLOCKED),
             policy,
             backoff,
+            adaptive,
+            queued: QueuedState::new(),
             #[cfg(debug_assertions)]
             holder: AtomicU32::new(0),
         }
@@ -82,6 +99,7 @@ impl RawSimpleLock {
                 "simple_lock_init on a held lock (init is not unlock)"
             );
         }
+        self.queued.reset();
         policy::release(&self.word);
     }
 
@@ -106,9 +124,20 @@ impl RawSimpleLock {
     #[inline]
     pub fn lock_raw(&self) {
         self.debug_check_not_holder();
-        policy::acquire(&self.word, self.policy, self.backoff);
+        self.acquire_dispatch();
         self.debug_set_holder();
         held::on_acquire();
+    }
+
+    /// Policy dispatch for a blocking acquisition; returns the failed /
+    /// waited round count for the contention statistics.
+    #[inline]
+    fn acquire_dispatch(&self) -> u64 {
+        match self.policy {
+            SpinPolicy::Ticket => self.queued.ticket_acquire(&self.word, self.adaptive),
+            SpinPolicy::Mcs => self.queued.mcs_acquire(&self.word, self.adaptive),
+            _ => policy::acquire(&self.word, self.policy, self.backoff, self.adaptive),
+        }
     }
 
     /// Release the lock without a guard. Pairs with [`RawSimpleLock::lock_raw`].
@@ -118,7 +147,11 @@ impl RawSimpleLock {
     pub fn unlock_raw(&self) {
         self.debug_clear_holder();
         held::on_release();
-        policy::release(&self.word);
+        match self.policy {
+            SpinPolicy::Ticket => self.queued.ticket_release(&self.word),
+            SpinPolicy::Mcs => self.queued.mcs_release(&self.word),
+            _ => policy::release(&self.word),
+        }
     }
 
     /// Make a single attempt to acquire the lock.
@@ -143,7 +176,12 @@ impl RawSimpleLock {
     /// Guard-free form of [`RawSimpleLock::try_lock`].
     #[inline]
     pub fn try_lock_raw(&self) -> bool {
-        if policy::try_acquire(&self.word) {
+        let acquired = match self.policy {
+            SpinPolicy::Ticket => self.queued.ticket_try(&self.word),
+            SpinPolicy::Mcs => self.queued.mcs_try(&self.word),
+            _ => policy::try_acquire(&self.word),
+        };
+        if acquired {
             self.debug_set_holder();
             held::on_acquire();
             true
@@ -165,11 +203,23 @@ impl RawSimpleLock {
         self.policy
     }
 
+    /// Number of threads currently registered on a contended wait path.
+    ///
+    /// Only the queued policies register waiters (the word-spinning
+    /// policies leave no per-waiter trace, and their fast path must stay
+    /// a single atomic). Observing `waiters() == n` guarantees the first
+    /// `n` registrants' admission order is already fixed, which is what
+    /// the FIFO fairness tests key on. Racy otherwise; for tests and
+    /// statistics only.
+    pub fn waiters(&self) -> u32 {
+        self.queued.waiters()
+    }
+
     /// Acquire while reporting the number of failed attempts
     /// (support for [`crate::InstrumentedSimpleLock`]).
     pub(crate) fn acquire_counting(&self) -> u64 {
         self.debug_check_not_holder();
-        let failures = policy::acquire(&self.word, self.policy, self.backoff);
+        let failures = self.acquire_dispatch();
         self.debug_set_holder();
         held::on_acquire();
         failures

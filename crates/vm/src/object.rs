@@ -65,9 +65,13 @@ impl Refable for VmObject {
 impl VmObject {
     /// Create a memory object (no pager ports yet — they are created
     /// lazily, which is what makes the customized lock necessary).
+    ///
+    /// A widely mapped memory object collects references from every
+    /// mapping task and in-flight pageout, so the count is sharded; the
+    /// paging hybrid count and the termination protocol are untouched.
     pub fn create() -> ObjRef<VmObject> {
         ObjRef::new(VmObject {
-            header: ObjHeader::new(),
+            header: ObjHeader::new_sharded(),
             state: SimpleLocked::new(ObjectState {
                 ports_creating: false,
                 ports_created: false,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complex_lock-45483de1b7edad62.d: crates/bench/benches/complex_lock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplex_lock-45483de1b7edad62.rmeta: crates/bench/benches/complex_lock.rs Cargo.toml
+
+crates/bench/benches/complex_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

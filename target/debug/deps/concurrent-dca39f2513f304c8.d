@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent-dca39f2513f304c8.d: crates/lock/tests/concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent-dca39f2513f304c8.rmeta: crates/lock/tests/concurrent.rs Cargo.toml
+
+crates/lock/tests/concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent-e83a67e95d05c12a.d: crates/lock/tests/concurrent.rs
+
+/root/repo/target/debug/deps/concurrent-e83a67e95d05c12a: crates/lock/tests/concurrent.rs
+
+crates/lock/tests/concurrent.rs:

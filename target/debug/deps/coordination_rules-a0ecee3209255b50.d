@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coordination_rules-a0ecee3209255b50.d: tests/coordination_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoordination_rules-a0ecee3209255b50.rmeta: tests/coordination_rules.rs Cargo.toml
+
+tests/coordination_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

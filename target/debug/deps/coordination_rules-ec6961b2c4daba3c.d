@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coordination_rules-ec6961b2c4daba3c.d: tests/coordination_rules.rs
+
+/root/repo/target/debug/deps/coordination_rules-ec6961b2c4daba3c: tests/coordination_rules.rs
+
+tests/coordination_rules.rs:

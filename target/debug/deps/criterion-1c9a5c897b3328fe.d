@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-1c9a5c897b3328fe.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-1c9a5c897b3328fe.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

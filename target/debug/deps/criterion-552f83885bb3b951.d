@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-552f83885bb3b951.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-552f83885bb3b951.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-552f83885bb3b951.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a1651cb2f0dfbc73.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a1651cb2f0dfbc73: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c01c31e8e880d85c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c01c31e8e880d85c.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c01c31e8e880d85c.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_wait-c30b35a4b40813a0.d: crates/bench/benches/event_wait.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_wait-c30b35a4b40813a0.rmeta: crates/bench/benches/event_wait.rs Cargo.toml
+
+crates/bench/benches/event_wait.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5e410ae03b6696f9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5e410ae03b6696f9: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e47994336b988775.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e47994336b988775: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granularity-bffe3e8ae8005b92.d: crates/bench/benches/granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranularity-bffe3e8ae8005b92.rmeta: crates/bench/benches/granularity.rs Cargo.toml
+
+crates/bench/benches/granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

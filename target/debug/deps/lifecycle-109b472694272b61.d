@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle-109b472694272b61.d: tests/lifecycle.rs
+
+/root/repo/target/debug/deps/lifecycle-109b472694272b61: tests/lifecycle.rs
+
+tests/lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle-19e6b3c07d76b7f7.d: tests/lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle-19e6b3c07d76b7f7.rmeta: tests/lifecycle.rs Cargo.toml
+
+tests/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

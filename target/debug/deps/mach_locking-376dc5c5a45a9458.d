@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mach_locking-376dc5c5a45a9458.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_locking-376dc5c5a45a9458.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mach_locking-873c711036f95f42.d: src/lib.rs
+
+/root/repo/target/debug/deps/mach_locking-873c711036f95f42: src/lib.rs
+
+src/lib.rs:

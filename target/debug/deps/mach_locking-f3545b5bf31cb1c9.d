@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mach_locking-f3545b5bf31cb1c9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmach_locking-f3545b5bf31cb1c9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmach_locking-f3545b5bf31cb1c9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_stress-2cb141c59088f18e.d: crates/intr/tests/machine_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_stress-2cb141c59088f18e.rmeta: crates/intr/tests/machine_stress.rs Cargo.toml
+
+crates/intr/tests/machine_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

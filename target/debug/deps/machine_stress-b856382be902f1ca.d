@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_stress-b856382be902f1ca.d: crates/intr/tests/machine_stress.rs
+
+/root/repo/target/debug/deps/machine_stress-b856382be902f1ca: crates/intr/tests/machine_stress.rs
+
+crates/intr/tests/machine_stress.rs:

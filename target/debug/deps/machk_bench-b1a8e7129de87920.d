@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/machk_bench-b1a8e7129de87920.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_simple_lock.rs crates/bench/src/experiments/e02_granularity.rs crates/bench/src/experiments/e03_complex_lock.rs crates/bench/src/experiments/e04_upgrade.rs crates/bench/src/experiments/e05_refcount.rs crates/bench/src/experiments/e06_event_wait.rs crates/bench/src/experiments/e07_interrupt_deadlock.rs crates/bench/src/experiments/e08_task_locks.rs crates/bench/src/experiments/e09_pmap_order.rs crates/bench/src/experiments/e10_pageable.rs crates/bench/src/experiments/e11_vm_object.rs crates/bench/src/experiments/e12_rpc.rs crates/bench/src/experiments/e13_shutdown.rs crates/bench/src/experiments/e14_shootdown.rs crates/bench/src/experiments/e15_usage_timing.rs crates/bench/src/util.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_bench-b1a8e7129de87920.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_simple_lock.rs crates/bench/src/experiments/e02_granularity.rs crates/bench/src/experiments/e03_complex_lock.rs crates/bench/src/experiments/e04_upgrade.rs crates/bench/src/experiments/e05_refcount.rs crates/bench/src/experiments/e06_event_wait.rs crates/bench/src/experiments/e07_interrupt_deadlock.rs crates/bench/src/experiments/e08_task_locks.rs crates/bench/src/experiments/e09_pmap_order.rs crates/bench/src/experiments/e10_pageable.rs crates/bench/src/experiments/e11_vm_object.rs crates/bench/src/experiments/e12_rpc.rs crates/bench/src/experiments/e13_shutdown.rs crates/bench/src/experiments/e14_shootdown.rs crates/bench/src/experiments/e15_usage_timing.rs crates/bench/src/util.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e01_simple_lock.rs:
+crates/bench/src/experiments/e02_granularity.rs:
+crates/bench/src/experiments/e03_complex_lock.rs:
+crates/bench/src/experiments/e04_upgrade.rs:
+crates/bench/src/experiments/e05_refcount.rs:
+crates/bench/src/experiments/e06_event_wait.rs:
+crates/bench/src/experiments/e07_interrupt_deadlock.rs:
+crates/bench/src/experiments/e08_task_locks.rs:
+crates/bench/src/experiments/e09_pmap_order.rs:
+crates/bench/src/experiments/e10_pageable.rs:
+crates/bench/src/experiments/e11_vm_object.rs:
+crates/bench/src/experiments/e12_rpc.rs:
+crates/bench/src/experiments/e13_shutdown.rs:
+crates/bench/src/experiments/e14_shootdown.rs:
+crates/bench/src/experiments/e15_usage_timing.rs:
+crates/bench/src/util.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

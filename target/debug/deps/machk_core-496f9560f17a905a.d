@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/machk_core-496f9560f17a905a.d: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/debug/deps/libmachk_core-496f9560f17a905a.rlib: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/debug/deps/libmachk_core-496f9560f17a905a.rmeta: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+crates/core/src/lib.rs:
+crates/core/src/kobj.rs:

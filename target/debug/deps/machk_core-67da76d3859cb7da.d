@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/machk_core-67da76d3859cb7da.d: crates/core/src/lib.rs crates/core/src/kobj.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_core-67da76d3859cb7da.rmeta: crates/core/src/lib.rs crates/core/src/kobj.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/kobj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/machk_core-99346f8bfd091279.d: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/debug/deps/machk_core-99346f8bfd091279: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+crates/core/src/lib.rs:
+crates/core/src/kobj.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/machk_core-e903ca3891a19cae.d: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/debug/deps/libmachk_core-e903ca3891a19cae.rmeta: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+crates/core/src/lib.rs:
+crates/core/src/kobj.rs:

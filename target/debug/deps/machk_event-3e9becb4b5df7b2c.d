@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machk_event-3e9becb4b5df7b2c.d: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/debug/deps/libmachk_event-3e9becb4b5df7b2c.rmeta: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+crates/event/src/lib.rs:
+crates/event/src/api.rs:
+crates/event/src/queue.rs:
+crates/event/src/record.rs:
+crates/event/src/table.rs:

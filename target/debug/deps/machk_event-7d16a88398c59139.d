@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/machk_event-7d16a88398c59139.d: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/debug/deps/libmachk_event-7d16a88398c59139.rlib: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/debug/deps/libmachk_event-7d16a88398c59139.rmeta: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+crates/event/src/lib.rs:
+crates/event/src/api.rs:
+crates/event/src/queue.rs:
+crates/event/src/record.rs:
+crates/event/src/table.rs:

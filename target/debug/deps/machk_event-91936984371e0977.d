@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machk_event-91936984371e0977.d: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/debug/deps/machk_event-91936984371e0977: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+crates/event/src/lib.rs:
+crates/event/src/api.rs:
+crates/event/src/queue.rs:
+crates/event/src/record.rs:
+crates/event/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/machk_intr-150d5c0d52ff7885.d: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+/root/repo/target/debug/deps/libmachk_intr-150d5c0d52ff7885.rmeta: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+crates/intr/src/lib.rs:
+crates/intr/src/barrier.rs:
+crates/intr/src/cpu.rs:
+crates/intr/src/spl.rs:
+crates/intr/src/timer.rs:
+crates/intr/src/watchdog.rs:

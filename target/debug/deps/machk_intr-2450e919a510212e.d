@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/machk_intr-2450e919a510212e.d: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+/root/repo/target/debug/deps/libmachk_intr-2450e919a510212e.rlib: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+/root/repo/target/debug/deps/libmachk_intr-2450e919a510212e.rmeta: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+crates/intr/src/lib.rs:
+crates/intr/src/barrier.rs:
+crates/intr/src/cpu.rs:
+crates/intr/src/spl.rs:
+crates/intr/src/timer.rs:
+crates/intr/src/watchdog.rs:

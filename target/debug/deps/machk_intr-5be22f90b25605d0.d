@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/machk_intr-5be22f90b25605d0.d: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+/root/repo/target/debug/deps/machk_intr-5be22f90b25605d0: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+crates/intr/src/lib.rs:
+crates/intr/src/barrier.rs:
+crates/intr/src/cpu.rs:
+crates/intr/src/spl.rs:
+crates/intr/src/timer.rs:
+crates/intr/src/watchdog.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/machk_intr-bfe1d94d32841aa7.d: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_intr-bfe1d94d32841aa7.rmeta: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs Cargo.toml
+
+crates/intr/src/lib.rs:
+crates/intr/src/barrier.rs:
+crates/intr/src/cpu.rs:
+crates/intr/src/spl.rs:
+crates/intr/src/timer.rs:
+crates/intr/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

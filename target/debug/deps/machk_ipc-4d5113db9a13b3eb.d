@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/machk_ipc-4d5113db9a13b3eb.d: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+/root/repo/target/debug/deps/libmachk_ipc-4d5113db9a13b3eb.rlib: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+/root/repo/target/debug/deps/libmachk_ipc-4d5113db9a13b3eb.rmeta: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/message.rs:
+crates/ipc/src/namespace.rs:
+crates/ipc/src/port.rs:
+crates/ipc/src/portset.rs:
+crates/ipc/src/rpc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/machk_ipc-bcda28728ff9b73a.d: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+/root/repo/target/debug/deps/libmachk_ipc-bcda28728ff9b73a.rmeta: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/message.rs:
+crates/ipc/src/namespace.rs:
+crates/ipc/src/port.rs:
+crates/ipc/src/portset.rs:
+crates/ipc/src/rpc.rs:

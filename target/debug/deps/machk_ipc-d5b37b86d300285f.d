@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/machk_ipc-d5b37b86d300285f.d: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_ipc-d5b37b86d300285f.rmeta: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs Cargo.toml
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/message.rs:
+crates/ipc/src/namespace.rs:
+crates/ipc/src/port.rs:
+crates/ipc/src/portset.rs:
+crates/ipc/src/rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

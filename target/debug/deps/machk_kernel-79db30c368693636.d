@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/machk_kernel-79db30c368693636.d: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_kernel-79db30c368693636.rmeta: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/mono.rs:
+crates/kernel/src/ops.rs:
+crates/kernel/src/ordering.rs:
+crates/kernel/src/procset.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/shutdown.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

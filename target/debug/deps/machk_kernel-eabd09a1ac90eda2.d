@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/machk_kernel-eabd09a1ac90eda2.d: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/libmachk_kernel-eabd09a1ac90eda2.rlib: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/libmachk_kernel-eabd09a1ac90eda2.rmeta: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/mono.rs:
+crates/kernel/src/ops.rs:
+crates/kernel/src/ordering.rs:
+crates/kernel/src/procset.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/shutdown.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/thread.rs:

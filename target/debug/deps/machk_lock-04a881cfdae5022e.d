@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machk_lock-04a881cfdae5022e.d: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/debug/deps/machk_lock-04a881cfdae5022e: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+crates/lock/src/lib.rs:
+crates/lock/src/appendix_b.rs:
+crates/lock/src/complex.rs:
+crates/lock/src/rw_data.rs:
+crates/lock/src/stats.rs:

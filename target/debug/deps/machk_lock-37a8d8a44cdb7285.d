@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machk_lock-37a8d8a44cdb7285.d: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/debug/deps/libmachk_lock-37a8d8a44cdb7285.rmeta: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+crates/lock/src/lib.rs:
+crates/lock/src/appendix_b.rs:
+crates/lock/src/complex.rs:
+crates/lock/src/rw_data.rs:
+crates/lock/src/stats.rs:

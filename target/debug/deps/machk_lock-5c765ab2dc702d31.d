@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/machk_lock-5c765ab2dc702d31.d: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_lock-5c765ab2dc702d31.rmeta: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs Cargo.toml
+
+crates/lock/src/lib.rs:
+crates/lock/src/appendix_b.rs:
+crates/lock/src/complex.rs:
+crates/lock/src/rw_data.rs:
+crates/lock/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

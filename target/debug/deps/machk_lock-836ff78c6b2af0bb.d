@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/machk_lock-836ff78c6b2af0bb.d: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/debug/deps/libmachk_lock-836ff78c6b2af0bb.rlib: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/debug/deps/libmachk_lock-836ff78c6b2af0bb.rmeta: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+crates/lock/src/lib.rs:
+crates/lock/src/appendix_b.rs:
+crates/lock/src/complex.rs:
+crates/lock/src/rw_data.rs:
+crates/lock/src/stats.rs:

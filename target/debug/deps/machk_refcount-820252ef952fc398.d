@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machk_refcount-820252ef952fc398.d: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/debug/deps/machk_refcount-820252ef952fc398: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+crates/refcount/src/lib.rs:
+crates/refcount/src/count.rs:
+crates/refcount/src/header.rs:
+crates/refcount/src/objref.rs:
+crates/refcount/src/sharded.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/machk_refcount-d1ab8a2d73b728c2.d: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/debug/deps/libmachk_refcount-d1ab8a2d73b728c2.rlib: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/debug/deps/libmachk_refcount-d1ab8a2d73b728c2.rmeta: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+crates/refcount/src/lib.rs:
+crates/refcount/src/count.rs:
+crates/refcount/src/header.rs:
+crates/refcount/src/objref.rs:
+crates/refcount/src/sharded.rs:

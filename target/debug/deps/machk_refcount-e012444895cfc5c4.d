@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machk_refcount-e012444895cfc5c4.d: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/debug/deps/libmachk_refcount-e012444895cfc5c4.rmeta: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+crates/refcount/src/lib.rs:
+crates/refcount/src/count.rs:
+crates/refcount/src/header.rs:
+crates/refcount/src/objref.rs:
+crates/refcount/src/sharded.rs:

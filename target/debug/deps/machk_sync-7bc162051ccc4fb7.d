@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/machk_sync-7bc162051ccc4fb7.d: crates/sync/src/lib.rs crates/sync/src/held.rs crates/sync/src/policy.rs crates/sync/src/queued.rs crates/sync/src/raw.rs crates/sync/src/seq.rs crates/sync/src/simple.rs crates/sync/src/simple_locked.rs crates/sync/src/stats.rs
+
+/root/repo/target/debug/deps/libmachk_sync-7bc162051ccc4fb7.rlib: crates/sync/src/lib.rs crates/sync/src/held.rs crates/sync/src/policy.rs crates/sync/src/queued.rs crates/sync/src/raw.rs crates/sync/src/seq.rs crates/sync/src/simple.rs crates/sync/src/simple_locked.rs crates/sync/src/stats.rs
+
+/root/repo/target/debug/deps/libmachk_sync-7bc162051ccc4fb7.rmeta: crates/sync/src/lib.rs crates/sync/src/held.rs crates/sync/src/policy.rs crates/sync/src/queued.rs crates/sync/src/raw.rs crates/sync/src/seq.rs crates/sync/src/simple.rs crates/sync/src/simple_locked.rs crates/sync/src/stats.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/held.rs:
+crates/sync/src/policy.rs:
+crates/sync/src/queued.rs:
+crates/sync/src/raw.rs:
+crates/sync/src/seq.rs:
+crates/sync/src/simple.rs:
+crates/sync/src/simple_locked.rs:
+crates/sync/src/stats.rs:

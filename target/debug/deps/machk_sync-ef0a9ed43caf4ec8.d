@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/machk_sync-ef0a9ed43caf4ec8.d: crates/sync/src/lib.rs crates/sync/src/held.rs crates/sync/src/policy.rs crates/sync/src/queued.rs crates/sync/src/raw.rs crates/sync/src/seq.rs crates/sync/src/simple.rs crates/sync/src/simple_locked.rs crates/sync/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_sync-ef0a9ed43caf4ec8.rmeta: crates/sync/src/lib.rs crates/sync/src/held.rs crates/sync/src/policy.rs crates/sync/src/queued.rs crates/sync/src/raw.rs crates/sync/src/seq.rs crates/sync/src/simple.rs crates/sync/src/simple_locked.rs crates/sync/src/stats.rs Cargo.toml
+
+crates/sync/src/lib.rs:
+crates/sync/src/held.rs:
+crates/sync/src/policy.rs:
+crates/sync/src/queued.rs:
+crates/sync/src/raw.rs:
+crates/sync/src/seq.rs:
+crates/sync/src/simple.rs:
+crates/sync/src/simple_locked.rs:
+crates/sync/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

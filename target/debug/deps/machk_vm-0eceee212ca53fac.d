@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/machk_vm-0eceee212ca53fac.d: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachk_vm-0eceee212ca53fac.rmeta: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/pageable.rs:
+crates/vm/src/pmap.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

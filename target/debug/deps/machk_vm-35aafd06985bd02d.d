@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/machk_vm-35aafd06985bd02d.d: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+/root/repo/target/debug/deps/libmachk_vm-35aafd06985bd02d.rlib: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+/root/repo/target/debug/deps/libmachk_vm-35aafd06985bd02d.rmeta: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/pageable.rs:
+crates/vm/src/pmap.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/zone.rs:

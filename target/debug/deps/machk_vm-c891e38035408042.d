@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/machk_vm-c891e38035408042.d: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+/root/repo/target/debug/deps/machk_vm-c891e38035408042: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/pageable.rs:
+crates/vm/src/pmap.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/zone.rs:

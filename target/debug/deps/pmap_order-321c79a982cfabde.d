@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmap_order-321c79a982cfabde.d: crates/bench/benches/pmap_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmap_order-321c79a982cfabde.rmeta: crates/bench/benches/pmap_order.rs Cargo.toml
+
+crates/bench/benches/pmap_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_exclusion-40c11f8632f71dc8.d: crates/sync/tests/prop_exclusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_exclusion-40c11f8632f71dc8.rmeta: crates/sync/tests/prop_exclusion.rs Cargo.toml
+
+crates/sync/tests/prop_exclusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

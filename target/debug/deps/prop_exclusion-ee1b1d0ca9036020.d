@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exclusion-ee1b1d0ca9036020.d: crates/sync/tests/prop_exclusion.rs
+
+/root/repo/target/debug/deps/prop_exclusion-ee1b1d0ca9036020: crates/sync/tests/prop_exclusion.rs
+
+crates/sync/tests/prop_exclusion.rs:

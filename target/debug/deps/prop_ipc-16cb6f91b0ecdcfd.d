@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_ipc-16cb6f91b0ecdcfd.d: crates/ipc/tests/prop_ipc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_ipc-16cb6f91b0ecdcfd.rmeta: crates/ipc/tests/prop_ipc.rs Cargo.toml
+
+crates/ipc/tests/prop_ipc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_ipc-b01640695cbfd890.d: crates/ipc/tests/prop_ipc.rs
+
+/root/repo/target/debug/deps/prop_ipc-b01640695cbfd890: crates/ipc/tests/prop_ipc.rs
+
+crates/ipc/tests/prop_ipc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_kobj-534d9e9a6090db06.d: crates/core/tests/prop_kobj.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_kobj-534d9e9a6090db06.rmeta: crates/core/tests/prop_kobj.rs Cargo.toml
+
+crates/core/tests/prop_kobj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

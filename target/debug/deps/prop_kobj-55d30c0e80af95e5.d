@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_kobj-55d30c0e80af95e5.d: crates/core/tests/prop_kobj.rs
+
+/root/repo/target/debug/deps/prop_kobj-55d30c0e80af95e5: crates/core/tests/prop_kobj.rs
+
+crates/core/tests/prop_kobj.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_lifecycle-10103fe85900258d.d: crates/refcount/tests/prop_lifecycle.rs
+
+/root/repo/target/debug/deps/prop_lifecycle-10103fe85900258d: crates/refcount/tests/prop_lifecycle.rs
+
+crates/refcount/tests/prop_lifecycle.rs:

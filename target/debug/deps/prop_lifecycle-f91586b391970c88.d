@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_lifecycle-f91586b391970c88.d: crates/refcount/tests/prop_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_lifecycle-f91586b391970c88.rmeta: crates/refcount/tests/prop_lifecycle.rs Cargo.toml
+
+crates/refcount/tests/prop_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_map-22192dc8a9c45db0.d: crates/vm/tests/prop_map.rs
+
+/root/repo/target/debug/deps/prop_map-22192dc8a9c45db0: crates/vm/tests/prop_map.rs
+
+crates/vm/tests/prop_map.rs:

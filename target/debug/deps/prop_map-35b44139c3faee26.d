@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_map-35b44139c3faee26.d: crates/vm/tests/prop_map.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_map-35b44139c3faee26.rmeta: crates/vm/tests/prop_map.rs Cargo.toml
+
+crates/vm/tests/prop_map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_model-66f163a47ebbdd40.d: crates/lock/tests/prop_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_model-66f163a47ebbdd40.rmeta: crates/lock/tests/prop_model.rs Cargo.toml
+
+crates/lock/tests/prop_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

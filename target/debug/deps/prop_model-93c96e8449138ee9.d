@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-93c96e8449138ee9.d: crates/lock/tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-93c96e8449138ee9: crates/lock/tests/prop_model.rs
+
+crates/lock/tests/prop_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_pmap-f555ebb568f608b0.d: crates/vm/tests/prop_pmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_pmap-f555ebb568f608b0.rmeta: crates/vm/tests/prop_pmap.rs Cargo.toml
+
+crates/vm/tests/prop_pmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

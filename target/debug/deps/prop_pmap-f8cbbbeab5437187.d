@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_pmap-f8cbbbeab5437187.d: crates/vm/tests/prop_pmap.rs
+
+/root/repo/target/debug/deps/prop_pmap-f8cbbbeab5437187: crates/vm/tests/prop_pmap.rs
+
+crates/vm/tests/prop_pmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_portset-14d6c40bcac1684b.d: crates/ipc/tests/prop_portset.rs
+
+/root/repo/target/debug/deps/prop_portset-14d6c40bcac1684b: crates/ipc/tests/prop_portset.rs
+
+crates/ipc/tests/prop_portset.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_portset-db4029523fe49b95.d: crates/ipc/tests/prop_portset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_portset-db4029523fe49b95.rmeta: crates/ipc/tests/prop_portset.rs Cargo.toml
+
+crates/ipc/tests/prop_portset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_runqueue-3d8ea91c963d1d8a.d: crates/kernel/tests/prop_runqueue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_runqueue-3d8ea91c963d1d8a.rmeta: crates/kernel/tests/prop_runqueue.rs Cargo.toml
+
+crates/kernel/tests/prop_runqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_runqueue-989fa9a14b4f4ec7.d: crates/kernel/tests/prop_runqueue.rs
+
+/root/repo/target/debug/deps/prop_runqueue-989fa9a14b4f4ec7: crates/kernel/tests/prop_runqueue.rs
+
+crates/kernel/tests/prop_runqueue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sharded-8572873c3cbf606b.d: crates/refcount/tests/prop_sharded.rs
+
+/root/repo/target/debug/deps/prop_sharded-8572873c3cbf606b: crates/refcount/tests/prop_sharded.rs
+
+crates/refcount/tests/prop_sharded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sharded-fa55c7dd8046973a.d: crates/refcount/tests/prop_sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sharded-fa55c7dd8046973a.rmeta: crates/refcount/tests/prop_sharded.rs Cargo.toml
+
+crates/refcount/tests/prop_sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_zone-746c905ec9535ab6.d: crates/vm/tests/prop_zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_zone-746c905ec9535ab6.rmeta: crates/vm/tests/prop_zone.rs Cargo.toml
+
+crates/vm/tests/prop_zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_zone-dcbba67dadb0b3b7.d: crates/vm/tests/prop_zone.rs
+
+/root/repo/target/debug/deps/prop_zone-dcbba67dadb0b3b7: crates/vm/tests/prop_zone.rs
+
+crates/vm/tests/prop_zone.rs:

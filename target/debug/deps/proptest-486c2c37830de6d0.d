@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-486c2c37830de6d0.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-486c2c37830de6d0: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f0748be8854b8087.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f0748be8854b8087.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f0748be8854b8087.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

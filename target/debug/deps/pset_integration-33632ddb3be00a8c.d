@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pset_integration-33632ddb3be00a8c.d: crates/kernel/tests/pset_integration.rs
+
+/root/repo/target/debug/deps/pset_integration-33632ddb3be00a8c: crates/kernel/tests/pset_integration.rs
+
+crates/kernel/tests/pset_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pset_integration-9299b0d89569a13b.d: crates/kernel/tests/pset_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpset_integration-9299b0d89569a13b.rmeta: crates/kernel/tests/pset_integration.rs Cargo.toml
+
+crates/kernel/tests/pset_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

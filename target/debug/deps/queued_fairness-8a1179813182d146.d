@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queued_fairness-8a1179813182d146.d: crates/sync/tests/queued_fairness.rs
+
+/root/repo/target/debug/deps/queued_fairness-8a1179813182d146: crates/sync/tests/queued_fairness.rs
+
+crates/sync/tests/queued_fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queued_fairness-a0b0302c3d4b92a1.d: crates/sync/tests/queued_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueued_fairness-a0b0302c3d4b92a1.rmeta: crates/sync/tests/queued_fairness.rs Cargo.toml
+
+crates/sync/tests/queued_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queued_lock-75c1ee188bfd0525.d: crates/bench/benches/queued_lock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueued_lock-75c1ee188bfd0525.rmeta: crates/bench/benches/queued_lock.rs Cargo.toml
+
+crates/bench/benches/queued_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

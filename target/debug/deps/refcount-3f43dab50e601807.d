@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/refcount-3f43dab50e601807.d: crates/bench/benches/refcount.rs Cargo.toml
+
+/root/repo/target/debug/deps/librefcount-3f43dab50e601807.rmeta: crates/bench/benches/refcount.rs Cargo.toml
+
+crates/bench/benches/refcount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

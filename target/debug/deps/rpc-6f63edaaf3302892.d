@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc-6f63edaaf3302892.d: crates/bench/benches/rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc-6f63edaaf3302892.rmeta: crates/bench/benches/rpc.rs Cargo.toml
+
+crates/bench/benches/rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shootdown-63e4bbfd1ab72540.d: crates/bench/benches/shootdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshootdown-63e4bbfd1ab72540.rmeta: crates/bench/benches/shootdown.rs Cargo.toml
+
+crates/bench/benches/shootdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simple_lock-887e3e09963a5b5c.d: crates/bench/benches/simple_lock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimple_lock-887e3e09963a5b5c.rmeta: crates/bench/benches/simple_lock.rs Cargo.toml
+
+crates/bench/benches/simple_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-659d65877fa9c7ee.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-659d65877fa9c7ee: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_event-3a12f5e7869737bf.d: crates/event/tests/stress_event.rs
+
+/root/repo/target/debug/deps/stress_event-3a12f5e7869737bf: crates/event/tests/stress_event.rs
+
+crates/event/tests/stress_event.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress_event-f0c292b8a9ad2577.d: crates/event/tests/stress_event.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress_event-f0c292b8a9ad2577.rmeta: crates/event/tests/stress_event.rs Cargo.toml
+
+crates/event/tests/stress_event.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-c36455c496620ca9.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-c36455c496620ca9: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

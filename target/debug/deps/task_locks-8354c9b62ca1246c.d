@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/task_locks-8354c9b62ca1246c.d: crates/bench/benches/task_locks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtask_locks-8354c9b62ca1246c.rmeta: crates/bench/benches/task_locks.rs Cargo.toml
+
+crates/bench/benches/task_locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/upgrade-c4989487072e78c6.d: crates/bench/benches/upgrade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libupgrade-c4989487072e78c6.rmeta: crates/bench/benches/upgrade.rs Cargo.toml
+
+crates/bench/benches/upgrade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/usage_timing-233361173ac49861.d: crates/bench/benches/usage_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusage_timing-233361173ac49861.rmeta: crates/bench/benches/usage_timing.rs Cargo.toml
+
+crates/bench/benches/usage_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

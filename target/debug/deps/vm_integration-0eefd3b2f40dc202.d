@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_integration-0eefd3b2f40dc202.d: tests/vm_integration.rs
+
+/root/repo/target/debug/deps/vm_integration-0eefd3b2f40dc202: tests/vm_integration.rs
+
+tests/vm_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_integration-64f6c8cb1311b798.d: tests/vm_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_integration-64f6c8cb1311b798.rmeta: tests/vm_integration.rs Cargo.toml
+
+tests/vm_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

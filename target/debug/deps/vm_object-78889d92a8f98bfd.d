@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_object-78889d92a8f98bfd.d: crates/bench/benches/vm_object.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_object-78889d92a8f98bfd.rmeta: crates/bench/benches/vm_object.rs Cargo.toml
+
+crates/bench/benches/vm_object.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_rpc-35c14f1d33c09c49.d: examples/kernel_rpc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_rpc-35c14f1d33c09c49.rmeta: examples/kernel_rpc.rs Cargo.toml
+
+examples/kernel_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_rpc-3d36e6bff94972b3.d: examples/kernel_rpc.rs
+
+/root/repo/target/debug/examples/kernel_rpc-3d36e6bff94972b3: examples/kernel_rpc.rs
+
+examples/kernel_rpc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_vm-159a07e1735475ca.d: examples/parallel_vm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_vm-159a07e1735475ca.rmeta: examples/parallel_vm.rs Cargo.toml
+
+examples/parallel_vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_vm-ea957234f26a42ac.d: examples/parallel_vm.rs
+
+/root/repo/target/debug/examples/parallel_vm-ea957234f26a42ac: examples/parallel_vm.rs
+
+examples/parallel_vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/port_pipeline-3871684bbe2d105f.d: examples/port_pipeline.rs
+
+/root/repo/target/debug/examples/port_pipeline-3871684bbe2d105f: examples/port_pipeline.rs
+
+examples/port_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/port_pipeline-6883277fd86b0dd0.d: examples/port_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libport_pipeline-6883277fd86b0dd0.rmeta: examples/port_pipeline.rs Cargo.toml
+
+examples/port_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-859a3564e5bafc29.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-859a3564e5bafc29: examples/quickstart.rs
+
+examples/quickstart.rs:

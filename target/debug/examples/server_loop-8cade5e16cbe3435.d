@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_loop-8cade5e16cbe3435.d: examples/server_loop.rs
+
+/root/repo/target/debug/examples/server_loop-8cade5e16cbe3435: examples/server_loop.rs
+
+examples/server_loop.rs:

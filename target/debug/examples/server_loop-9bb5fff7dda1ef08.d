@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/server_loop-9bb5fff7dda1ef08.d: examples/server_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserver_loop-9bb5fff7dda1ef08.rmeta: examples/server_loop.rs Cargo.toml
+
+examples/server_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tlb_shootdown-d7210740003634d5.d: examples/tlb_shootdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtlb_shootdown-d7210740003634d5.rmeta: examples/tlb_shootdown.rs Cargo.toml
+
+examples/tlb_shootdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tlb_shootdown-deaf4d4365939a34.d: examples/tlb_shootdown.rs
+
+/root/repo/target/debug/examples/tlb_shootdown-deaf4d4365939a34: examples/tlb_shootdown.rs
+
+examples/tlb_shootdown.rs:

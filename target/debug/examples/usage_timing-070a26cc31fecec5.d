@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/usage_timing-070a26cc31fecec5.d: examples/usage_timing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libusage_timing-070a26cc31fecec5.rmeta: examples/usage_timing.rs Cargo.toml
+
+examples/usage_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/usage_timing-47e1886e72b6d1a9.d: examples/usage_timing.rs
+
+/root/repo/target/debug/examples/usage_timing-47e1886e72b6d1a9: examples/usage_timing.rs
+
+examples/usage_timing.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["machk_intr",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"machk_intr/spl/enum.SplLevel.html\" title=\"enum machk_intr::spl::SplLevel\">SplLevel</a>",0]]],["machk_ipc",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"machk_ipc/namespace/struct.PortName.html\" title=\"struct machk_ipc::namespace::PortName\">PortName</a>",0]]],["machk_kernel",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"machk_kernel/procset/struct.ProcessorId.html\" title=\"struct machk_kernel::procset::ProcessorId\">ProcessorId</a>",0]]],["machk_vm",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"machk_vm/page/struct.PageId.html\" title=\"struct machk_vm::page::PageId\">PageId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[291,307,321,288]}

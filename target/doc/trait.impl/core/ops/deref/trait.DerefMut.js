@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["machk_lock",[["impl&lt;T: ?<a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/marker/trait.Sized.html\" title=\"trait core::marker::Sized\">Sized</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/deref/trait.DerefMut.html\" title=\"trait core::ops::deref::DerefMut\">DerefMut</a> for <a class=\"struct\" href=\"machk_lock/rw_data/struct.RwWriteGuard.html\" title=\"struct machk_lock::rw_data::RwWriteGuard\">RwWriteGuard</a>&lt;'_, T&gt;",0]]],["machk_sync",[["impl&lt;T: ?<a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/marker/trait.Sized.html\" title=\"trait core::marker::Sized\">Sized</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/deref/trait.DerefMut.html\" title=\"trait core::ops::deref::DerefMut\">DerefMut</a> for <a class=\"struct\" href=\"machk_sync/simple_locked/struct.SimpleLockedGuard.html\" title=\"struct machk_sync::simple_locked::SimpleLockedGuard\">SimpleLockedGuard</a>&lt;'_, T&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[484,512]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/complex_lock-cb413fb90b4cad85.d: crates/bench/benches/complex_lock.rs
+
+/root/repo/target/release/deps/complex_lock-cb413fb90b4cad85: crates/bench/benches/complex_lock.rs
+
+crates/bench/benches/complex_lock.rs:

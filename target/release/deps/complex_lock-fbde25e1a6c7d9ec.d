@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/complex_lock-fbde25e1a6c7d9ec.d: crates/bench/benches/complex_lock.rs
+
+/root/repo/target/release/deps/complex_lock-fbde25e1a6c7d9ec: crates/bench/benches/complex_lock.rs
+
+crates/bench/benches/complex_lock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-1c09089d574208af.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-1c09089d574208af: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-35d94bc344d3681c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-35d94bc344d3681c.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-35d94bc344d3681c.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

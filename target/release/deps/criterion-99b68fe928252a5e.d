@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-99b68fe928252a5e.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-99b68fe928252a5e.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-99b68fe928252a5e.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_wait-a9885703d7bbc29f.d: crates/bench/benches/event_wait.rs
+
+/root/repo/target/release/deps/event_wait-a9885703d7bbc29f: crates/bench/benches/event_wait.rs
+
+crates/bench/benches/event_wait.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_wait-ccee5db7649b1a35.d: crates/bench/benches/event_wait.rs
+
+/root/repo/target/release/deps/event_wait-ccee5db7649b1a35: crates/bench/benches/event_wait.rs
+
+crates/bench/benches/event_wait.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-35af9982c420edea.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-35af9982c420edea: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-7412be7d9b132d40.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-7412be7d9b132d40: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

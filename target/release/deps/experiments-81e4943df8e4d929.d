@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-81e4943df8e4d929.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-81e4943df8e4d929: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/granularity-a02bea09c5b93b34.d: crates/bench/benches/granularity.rs
+
+/root/repo/target/release/deps/granularity-a02bea09c5b93b34: crates/bench/benches/granularity.rs
+
+crates/bench/benches/granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/granularity-c0f918e93821b03c.d: crates/bench/benches/granularity.rs
+
+/root/repo/target/release/deps/granularity-c0f918e93821b03c: crates/bench/benches/granularity.rs
+
+crates/bench/benches/granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mach_locking-21adf36fc5900bd3.d: src/lib.rs
+
+/root/repo/target/release/deps/mach_locking-21adf36fc5900bd3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mach_locking-a57a29d070224a9e.d: src/lib.rs
+
+/root/repo/target/release/deps/libmach_locking-a57a29d070224a9e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmach_locking-a57a29d070224a9e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/machk_bench-4fd52a46dbc9d000.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_simple_lock.rs crates/bench/src/experiments/e02_granularity.rs crates/bench/src/experiments/e03_complex_lock.rs crates/bench/src/experiments/e04_upgrade.rs crates/bench/src/experiments/e05_refcount.rs crates/bench/src/experiments/e06_event_wait.rs crates/bench/src/experiments/e07_interrupt_deadlock.rs crates/bench/src/experiments/e08_task_locks.rs crates/bench/src/experiments/e09_pmap_order.rs crates/bench/src/experiments/e10_pageable.rs crates/bench/src/experiments/e11_vm_object.rs crates/bench/src/experiments/e12_rpc.rs crates/bench/src/experiments/e13_shutdown.rs crates/bench/src/experiments/e14_shootdown.rs crates/bench/src/experiments/e15_usage_timing.rs crates/bench/src/util.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/machk_bench-4fd52a46dbc9d000: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_simple_lock.rs crates/bench/src/experiments/e02_granularity.rs crates/bench/src/experiments/e03_complex_lock.rs crates/bench/src/experiments/e04_upgrade.rs crates/bench/src/experiments/e05_refcount.rs crates/bench/src/experiments/e06_event_wait.rs crates/bench/src/experiments/e07_interrupt_deadlock.rs crates/bench/src/experiments/e08_task_locks.rs crates/bench/src/experiments/e09_pmap_order.rs crates/bench/src/experiments/e10_pageable.rs crates/bench/src/experiments/e11_vm_object.rs crates/bench/src/experiments/e12_rpc.rs crates/bench/src/experiments/e13_shutdown.rs crates/bench/src/experiments/e14_shootdown.rs crates/bench/src/experiments/e15_usage_timing.rs crates/bench/src/util.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e01_simple_lock.rs:
+crates/bench/src/experiments/e02_granularity.rs:
+crates/bench/src/experiments/e03_complex_lock.rs:
+crates/bench/src/experiments/e04_upgrade.rs:
+crates/bench/src/experiments/e05_refcount.rs:
+crates/bench/src/experiments/e06_event_wait.rs:
+crates/bench/src/experiments/e07_interrupt_deadlock.rs:
+crates/bench/src/experiments/e08_task_locks.rs:
+crates/bench/src/experiments/e09_pmap_order.rs:
+crates/bench/src/experiments/e10_pageable.rs:
+crates/bench/src/experiments/e11_vm_object.rs:
+crates/bench/src/experiments/e12_rpc.rs:
+crates/bench/src/experiments/e13_shutdown.rs:
+crates/bench/src/experiments/e14_shootdown.rs:
+crates/bench/src/experiments/e15_usage_timing.rs:
+crates/bench/src/util.rs:
+crates/bench/src/workloads.rs:

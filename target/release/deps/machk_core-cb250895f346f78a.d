@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/machk_core-cb250895f346f78a.d: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/release/deps/libmachk_core-cb250895f346f78a.rlib: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/release/deps/libmachk_core-cb250895f346f78a.rmeta: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+crates/core/src/lib.rs:
+crates/core/src/kobj.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/machk_core-f0bb761fe921750f.d: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+/root/repo/target/release/deps/machk_core-f0bb761fe921750f: crates/core/src/lib.rs crates/core/src/kobj.rs
+
+crates/core/src/lib.rs:
+crates/core/src/kobj.rs:

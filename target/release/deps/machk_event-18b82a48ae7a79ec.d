@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/machk_event-18b82a48ae7a79ec.d: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/release/deps/machk_event-18b82a48ae7a79ec: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+crates/event/src/lib.rs:
+crates/event/src/api.rs:
+crates/event/src/queue.rs:
+crates/event/src/record.rs:
+crates/event/src/table.rs:

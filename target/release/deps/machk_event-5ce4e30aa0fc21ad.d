@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/machk_event-5ce4e30aa0fc21ad.d: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/release/deps/libmachk_event-5ce4e30aa0fc21ad.rlib: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+/root/repo/target/release/deps/libmachk_event-5ce4e30aa0fc21ad.rmeta: crates/event/src/lib.rs crates/event/src/api.rs crates/event/src/queue.rs crates/event/src/record.rs crates/event/src/table.rs
+
+crates/event/src/lib.rs:
+crates/event/src/api.rs:
+crates/event/src/queue.rs:
+crates/event/src/record.rs:
+crates/event/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/machk_intr-d989d74522a94ed1.d: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+/root/repo/target/release/deps/libmachk_intr-d989d74522a94ed1.rlib: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+/root/repo/target/release/deps/libmachk_intr-d989d74522a94ed1.rmeta: crates/intr/src/lib.rs crates/intr/src/barrier.rs crates/intr/src/cpu.rs crates/intr/src/spl.rs crates/intr/src/timer.rs crates/intr/src/watchdog.rs
+
+crates/intr/src/lib.rs:
+crates/intr/src/barrier.rs:
+crates/intr/src/cpu.rs:
+crates/intr/src/spl.rs:
+crates/intr/src/timer.rs:
+crates/intr/src/watchdog.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/machk_ipc-4dbef999d7765b50.d: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+/root/repo/target/release/deps/machk_ipc-4dbef999d7765b50: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/message.rs:
+crates/ipc/src/namespace.rs:
+crates/ipc/src/port.rs:
+crates/ipc/src/portset.rs:
+crates/ipc/src/rpc.rs:

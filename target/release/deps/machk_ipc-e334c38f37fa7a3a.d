@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/machk_ipc-e334c38f37fa7a3a.d: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+/root/repo/target/release/deps/libmachk_ipc-e334c38f37fa7a3a.rlib: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+/root/repo/target/release/deps/libmachk_ipc-e334c38f37fa7a3a.rmeta: crates/ipc/src/lib.rs crates/ipc/src/message.rs crates/ipc/src/namespace.rs crates/ipc/src/port.rs crates/ipc/src/portset.rs crates/ipc/src/rpc.rs
+
+crates/ipc/src/lib.rs:
+crates/ipc/src/message.rs:
+crates/ipc/src/namespace.rs:
+crates/ipc/src/port.rs:
+crates/ipc/src/portset.rs:
+crates/ipc/src/rpc.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/machk_kernel-c545a69a0d348bae.d: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/libmachk_kernel-c545a69a0d348bae.rlib: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/libmachk_kernel-c545a69a0d348bae.rmeta: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/mono.rs:
+crates/kernel/src/ops.rs:
+crates/kernel/src/ordering.rs:
+crates/kernel/src/procset.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/shutdown.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/thread.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/machk_kernel-fccbd59e77d5e645.d: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/machk_kernel-fccbd59e77d5e645: crates/kernel/src/lib.rs crates/kernel/src/mono.rs crates/kernel/src/ops.rs crates/kernel/src/ordering.rs crates/kernel/src/procset.rs crates/kernel/src/sched.rs crates/kernel/src/shutdown.rs crates/kernel/src/task.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/mono.rs:
+crates/kernel/src/ops.rs:
+crates/kernel/src/ordering.rs:
+crates/kernel/src/procset.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/shutdown.rs:
+crates/kernel/src/task.rs:
+crates/kernel/src/thread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/machk_lock-a2b446fecc94285f.d: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/release/deps/machk_lock-a2b446fecc94285f: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+crates/lock/src/lib.rs:
+crates/lock/src/appendix_b.rs:
+crates/lock/src/complex.rs:
+crates/lock/src/rw_data.rs:
+crates/lock/src/stats.rs:

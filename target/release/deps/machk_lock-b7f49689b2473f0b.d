@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/machk_lock-b7f49689b2473f0b.d: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/release/deps/libmachk_lock-b7f49689b2473f0b.rlib: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+/root/repo/target/release/deps/libmachk_lock-b7f49689b2473f0b.rmeta: crates/lock/src/lib.rs crates/lock/src/appendix_b.rs crates/lock/src/complex.rs crates/lock/src/rw_data.rs crates/lock/src/stats.rs
+
+crates/lock/src/lib.rs:
+crates/lock/src/appendix_b.rs:
+crates/lock/src/complex.rs:
+crates/lock/src/rw_data.rs:
+crates/lock/src/stats.rs:

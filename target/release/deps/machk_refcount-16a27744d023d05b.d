@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/machk_refcount-16a27744d023d05b.d: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/release/deps/machk_refcount-16a27744d023d05b: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+crates/refcount/src/lib.rs:
+crates/refcount/src/count.rs:
+crates/refcount/src/header.rs:
+crates/refcount/src/objref.rs:
+crates/refcount/src/sharded.rs:

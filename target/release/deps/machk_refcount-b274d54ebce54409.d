@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/machk_refcount-b274d54ebce54409.d: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/release/deps/libmachk_refcount-b274d54ebce54409.rlib: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+/root/repo/target/release/deps/libmachk_refcount-b274d54ebce54409.rmeta: crates/refcount/src/lib.rs crates/refcount/src/count.rs crates/refcount/src/header.rs crates/refcount/src/objref.rs crates/refcount/src/sharded.rs
+
+crates/refcount/src/lib.rs:
+crates/refcount/src/count.rs:
+crates/refcount/src/header.rs:
+crates/refcount/src/objref.rs:
+crates/refcount/src/sharded.rs:

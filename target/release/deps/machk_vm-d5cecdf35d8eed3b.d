@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/machk_vm-d5cecdf35d8eed3b.d: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+/root/repo/target/release/deps/machk_vm-d5cecdf35d8eed3b: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/pageable.rs:
+crates/vm/src/pmap.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/zone.rs:

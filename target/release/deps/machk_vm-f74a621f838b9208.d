@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/machk_vm-f74a621f838b9208.d: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+/root/repo/target/release/deps/libmachk_vm-f74a621f838b9208.rlib: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+/root/repo/target/release/deps/libmachk_vm-f74a621f838b9208.rmeta: crates/vm/src/lib.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/pageable.rs crates/vm/src/pmap.rs crates/vm/src/tlb.rs crates/vm/src/zone.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/pageable.rs:
+crates/vm/src/pmap.rs:
+crates/vm/src/tlb.rs:
+crates/vm/src/zone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pmap_order-8ae4fd0c542febd5.d: crates/bench/benches/pmap_order.rs
+
+/root/repo/target/release/deps/pmap_order-8ae4fd0c542febd5: crates/bench/benches/pmap_order.rs
+
+crates/bench/benches/pmap_order.rs:

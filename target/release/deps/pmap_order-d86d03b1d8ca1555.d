@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pmap_order-d86d03b1d8ca1555.d: crates/bench/benches/pmap_order.rs
+
+/root/repo/target/release/deps/pmap_order-d86d03b1d8ca1555: crates/bench/benches/pmap_order.rs
+
+crates/bench/benches/pmap_order.rs:

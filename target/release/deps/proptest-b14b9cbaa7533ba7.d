@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-b14b9cbaa7533ba7.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-b14b9cbaa7533ba7: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

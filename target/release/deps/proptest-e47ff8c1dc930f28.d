@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e47ff8c1dc930f28.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e47ff8c1dc930f28.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e47ff8c1dc930f28.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

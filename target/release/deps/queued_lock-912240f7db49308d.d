@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/queued_lock-912240f7db49308d.d: crates/bench/benches/queued_lock.rs
+
+/root/repo/target/release/deps/queued_lock-912240f7db49308d: crates/bench/benches/queued_lock.rs
+
+crates/bench/benches/queued_lock.rs:

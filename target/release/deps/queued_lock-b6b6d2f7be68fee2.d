@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/queued_lock-b6b6d2f7be68fee2.d: crates/bench/benches/queued_lock.rs
+
+/root/repo/target/release/deps/queued_lock-b6b6d2f7be68fee2: crates/bench/benches/queued_lock.rs
+
+crates/bench/benches/queued_lock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/refcount-47a8c861547af864.d: crates/bench/benches/refcount.rs
+
+/root/repo/target/release/deps/refcount-47a8c861547af864: crates/bench/benches/refcount.rs
+
+crates/bench/benches/refcount.rs:

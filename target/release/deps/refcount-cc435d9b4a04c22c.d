@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/refcount-cc435d9b4a04c22c.d: crates/bench/benches/refcount.rs
+
+/root/repo/target/release/deps/refcount-cc435d9b4a04c22c: crates/bench/benches/refcount.rs
+
+crates/bench/benches/refcount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rpc-7d682eb2ecb69a5a.d: crates/bench/benches/rpc.rs
+
+/root/repo/target/release/deps/rpc-7d682eb2ecb69a5a: crates/bench/benches/rpc.rs
+
+crates/bench/benches/rpc.rs:

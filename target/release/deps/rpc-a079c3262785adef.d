@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rpc-a079c3262785adef.d: crates/bench/benches/rpc.rs
+
+/root/repo/target/release/deps/rpc-a079c3262785adef: crates/bench/benches/rpc.rs
+
+crates/bench/benches/rpc.rs:

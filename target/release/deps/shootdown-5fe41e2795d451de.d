@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shootdown-5fe41e2795d451de.d: crates/bench/benches/shootdown.rs
+
+/root/repo/target/release/deps/shootdown-5fe41e2795d451de: crates/bench/benches/shootdown.rs
+
+crates/bench/benches/shootdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shootdown-f53ef107ae71027c.d: crates/bench/benches/shootdown.rs
+
+/root/repo/target/release/deps/shootdown-f53ef107ae71027c: crates/bench/benches/shootdown.rs
+
+crates/bench/benches/shootdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simple_lock-a3c4771224407abd.d: crates/bench/benches/simple_lock.rs
+
+/root/repo/target/release/deps/simple_lock-a3c4771224407abd: crates/bench/benches/simple_lock.rs
+
+crates/bench/benches/simple_lock.rs:

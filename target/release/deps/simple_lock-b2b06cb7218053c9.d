@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simple_lock-b2b06cb7218053c9.d: crates/bench/benches/simple_lock.rs
+
+/root/repo/target/release/deps/simple_lock-b2b06cb7218053c9: crates/bench/benches/simple_lock.rs
+
+crates/bench/benches/simple_lock.rs:

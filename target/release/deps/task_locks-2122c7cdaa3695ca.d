@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/task_locks-2122c7cdaa3695ca.d: crates/bench/benches/task_locks.rs
+
+/root/repo/target/release/deps/task_locks-2122c7cdaa3695ca: crates/bench/benches/task_locks.rs
+
+crates/bench/benches/task_locks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/task_locks-758ee9d08d247e8d.d: crates/bench/benches/task_locks.rs
+
+/root/repo/target/release/deps/task_locks-758ee9d08d247e8d: crates/bench/benches/task_locks.rs
+
+crates/bench/benches/task_locks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/upgrade-0e33ef37a7c190ae.d: crates/bench/benches/upgrade.rs
+
+/root/repo/target/release/deps/upgrade-0e33ef37a7c190ae: crates/bench/benches/upgrade.rs
+
+crates/bench/benches/upgrade.rs:

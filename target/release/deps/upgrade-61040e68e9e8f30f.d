@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/upgrade-61040e68e9e8f30f.d: crates/bench/benches/upgrade.rs
+
+/root/repo/target/release/deps/upgrade-61040e68e9e8f30f: crates/bench/benches/upgrade.rs
+
+crates/bench/benches/upgrade.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/usage_timing-1b35ecf40f955a0a.d: crates/bench/benches/usage_timing.rs
+
+/root/repo/target/release/deps/usage_timing-1b35ecf40f955a0a: crates/bench/benches/usage_timing.rs
+
+crates/bench/benches/usage_timing.rs:

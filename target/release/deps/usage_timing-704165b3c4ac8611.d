@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/usage_timing-704165b3c4ac8611.d: crates/bench/benches/usage_timing.rs
+
+/root/repo/target/release/deps/usage_timing-704165b3c4ac8611: crates/bench/benches/usage_timing.rs
+
+crates/bench/benches/usage_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_object-69019830f0e7289c.d: crates/bench/benches/vm_object.rs
+
+/root/repo/target/release/deps/vm_object-69019830f0e7289c: crates/bench/benches/vm_object.rs
+
+crates/bench/benches/vm_object.rs:

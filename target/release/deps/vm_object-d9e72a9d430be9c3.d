@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_object-d9e72a9d430be9c3.d: crates/bench/benches/vm_object.rs
+
+/root/repo/target/release/deps/vm_object-d9e72a9d430be9c3: crates/bench/benches/vm_object.rs
+
+crates/bench/benches/vm_object.rs:

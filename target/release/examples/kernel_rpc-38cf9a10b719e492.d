@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kernel_rpc-38cf9a10b719e492.d: examples/kernel_rpc.rs
+
+/root/repo/target/release/examples/kernel_rpc-38cf9a10b719e492: examples/kernel_rpc.rs
+
+examples/kernel_rpc.rs:

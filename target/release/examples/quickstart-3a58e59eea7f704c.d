@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3a58e59eea7f704c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3a58e59eea7f704c: examples/quickstart.rs
+
+examples/quickstart.rs:
