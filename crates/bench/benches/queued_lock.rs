@@ -3,8 +3,18 @@
 //! raw handoff cost of each queued mechanism at fixed oversubscription.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machk_bench::util::run_concurrent;
 use machk_bench::workloads::simple_lock_counter;
-use machk_core::{Backoff, SpinPolicy};
+use machk_core::{Backoff, RawSimpleLock, SpinPolicy};
+
+/// Build-level tracing marker: bench ids carry it so a default run and
+/// a `--features obs` run of the same bench land side by side, and the
+/// obs-on/obs-off delta can be read straight off the report (recorded
+/// in EXPERIMENTS.md).
+#[cfg(feature = "obs")]
+const TRACING: &str = "obs-on";
+#[cfg(not(feature = "obs"))]
+const TRACING: &str = "obs-off";
 
 /// Throughput of the shared-counter workload per policy as waiters pile
 /// up; 8 and 16 threads oversubscribe small hosts on purpose — that is
@@ -40,5 +50,51 @@ fn uncontended_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, contention_scaling, uncontended_cost);
+/// The shared-counter loop against a caller-supplied lock (the
+/// workload crate's version constructs its own anonymous lock, which
+/// an obs build deliberately does not trace).
+fn counter_on(lock: &RawSimpleLock, threads: usize, iters: u64) {
+    let mut counter = 0u64;
+    let cp = &mut counter as *mut u64 as usize;
+    run_concurrent(threads, |_t| {
+        for _ in 0..iters {
+            lock.lock_raw();
+            unsafe {
+                let p = cp as *mut u64;
+                p.write(p.read().wrapping_add(1));
+            }
+            lock.unlock_raw();
+        }
+    });
+    assert_eq!(counter, threads as u64 * iters);
+}
+
+/// Tracing overhead, isolated two ways: the group name carries the
+/// build's obs state (compare across a default and a `--features obs`
+/// run), and within an obs build the named/anonymous pair separates
+/// full tracing (registry counters + histograms + ring events) from
+/// the clock reads alone (anonymous locks skip recording).
+fn tracing_overhead(c: &mut Criterion) {
+    static NAMED: RawSimpleLock =
+        RawSimpleLock::named_with_policy("bench.queued.named", SpinPolicy::TasThenTtas, Backoff::NONE);
+    static ANON: RawSimpleLock =
+        RawSimpleLock::with_policy(SpinPolicy::TasThenTtas, Backoff::NONE);
+    let mut g = c.benchmark_group(&format!("queued_lock_tracing_{TRACING}"));
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("anonymous", threads),
+            &threads,
+            |b, &threads| b.iter(|| counter_on(&ANON, threads, 50_000)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("named", threads),
+            &threads,
+            |b, &threads| b.iter(|| counter_on(&NAMED, threads, 50_000)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, contention_scaling, uncontended_cost, tracing_overhead);
 criterion_main!(benches);

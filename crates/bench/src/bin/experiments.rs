@@ -8,17 +8,28 @@
 //!
 //! ```text
 //! experiments [--quick] [E1 E7 E10 ...]
+//! experiments lockstat [--quick] [--json]
 //! ```
 //!
 //! `--quick` shrinks iteration counts (used by CI); naming experiment
 //! ids runs a subset. Results for the repository's EXPERIMENTS.md come
 //! from a `--release` run without `--quick`.
+//!
+//! `lockstat` runs the E16 workload and prints only the lockstat
+//! report (text, or JSON with `--json`) — the `lockstat(1M)`-style
+//! entry point. Requires a build with `--features obs`.
 
 use machk_bench::experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+
+    if args.iter().any(|a| a.eq_ignore_ascii_case("lockstat")) {
+        lockstat(quick, args.iter().any(|a| a == "--json"));
+        return;
+    }
+
     let wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -50,7 +61,27 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched {wanted:?}; known ids are E1..E15");
+        eprintln!("no experiment matched {wanted:?}; known ids are E1..E16 and `lockstat`");
         std::process::exit(2);
     }
+}
+
+/// The `lockstat` subcommand: drive the E16 workload, print the report.
+#[cfg(feature = "obs")]
+fn lockstat(quick: bool, json: bool) {
+    // The experiment runner asserts the report's claims as it goes.
+    let rendered = experiments::e16_lockstat::run(quick);
+    if json {
+        println!("{}", machk_obs::Lockstat::collect().render_json());
+    } else {
+        print!("{rendered}");
+    }
+}
+
+/// Without the obs feature there is nothing to trace — say so and fail,
+/// so scripts notice a mis-built binary.
+#[cfg(not(feature = "obs"))]
+fn lockstat(_quick: bool, _json: bool) {
+    eprintln!("lockstat requires a build with `--features obs` (tracing is compiled out)");
+    std::process::exit(2);
 }

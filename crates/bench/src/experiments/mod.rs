@@ -20,6 +20,7 @@ pub mod e12_rpc;
 pub mod e13_shutdown;
 pub mod e14_shootdown;
 pub mod e15_usage_timing;
+pub mod e16_lockstat;
 
 /// One experiment entry: `(id, title, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
@@ -97,6 +98,11 @@ pub fn all() -> Vec<Experiment> {
             "E15",
             "Usage timing without locks (paper §2)",
             e15_usage_timing::run,
+        ),
+        (
+            "E16",
+            "Kernel-wide lockstat: contention, histograms, order cycles (obs layer)",
+            e16_lockstat::run,
         ),
     ]
 }

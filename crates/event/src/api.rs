@@ -42,6 +42,8 @@ pub fn current_thread() -> ThreadHandle {
 /// blocking between `assert_wait` and `thread_block` makes the blocking
 /// operation "call `assert_wait` a second time (this is fatal)".
 pub fn assert_wait(event: Event, interruptible: bool) {
+    #[cfg(feature = "obs")]
+    machk_obs::emit(machk_obs::EventKind::EventWait, 0, event.0 as u64);
     with_current(|rec| {
         let generation = rec.assert_wait(interruptible);
         table::enqueue(event, generation, rec);
@@ -73,13 +75,19 @@ pub fn thread_block_timeout(timeout: Duration) -> WaitResult {
 /// Declare the occurrence of `event`, waking **all** threads waiting for
 /// it. Returns the number of threads awakened.
 pub fn thread_wakeup(event: Event) -> usize {
-    table::wakeup(event, usize::MAX, WaitResult::Awakened)
+    let woken = table::wakeup(event, usize::MAX, WaitResult::Awakened);
+    #[cfg(feature = "obs")]
+    machk_obs::emit(machk_obs::EventKind::EventWakeup, 0, event.0 as u64);
+    woken
 }
 
 /// Declare the occurrence of `event`, waking **at most one** waiting
 /// thread. Returns `true` if a thread was awakened.
 pub fn thread_wakeup_one(event: Event) -> bool {
-    table::wakeup(event, 1, WaitResult::Awakened) == 1
+    let woken = table::wakeup(event, 1, WaitResult::Awakened) == 1;
+    #[cfg(feature = "obs")]
+    machk_obs::emit(machk_obs::EventKind::EventWakeup, 0, event.0 as u64);
+    woken
 }
 
 /// Thread-based event occurrence: end `thread`'s current wait, whatever

@@ -84,6 +84,8 @@ pub struct SplToken {
 /// not bound to a CPU (see [`Cpu::enter`]).
 pub fn spl_raise(level: SplLevel) -> SplToken {
     let cpu = current_cpu().expect("spl_raise: thread not bound to a simulated CPU");
+    #[cfg(feature = "obs")]
+    machk_obs::emit(machk_obs::EventKind::SplRaise, 0, level as u64);
     SplToken {
         previous: cpu.raise_spl(level),
     }
@@ -94,6 +96,12 @@ pub fn spl_raise(level: SplLevel) -> SplToken {
 /// level run before this returns.
 pub fn spl_restore(token: SplToken) {
     let cpu = current_cpu().expect("spl_restore: thread not bound to a simulated CPU");
+    #[cfg(feature = "obs")]
+    machk_obs::emit(
+        machk_obs::EventKind::SplRestore,
+        0,
+        token.previous as u64,
+    );
     cpu.set_spl(token.previous);
     cpu.poll();
 }
@@ -138,6 +146,24 @@ impl SplLock {
     pub const fn at_level(level: SplLevel) -> Self {
         SplLock {
             lock: RawSimpleLock::new(),
+            level: AtomicU8::new(level as u8),
+        }
+    }
+
+    /// [`SplLock::new`] with a lockstat name: with the `obs` feature,
+    /// acquisitions of the inner simple lock report under `name`.
+    /// Without the feature the name is ignored.
+    pub const fn named(name: &'static str) -> Self {
+        SplLock {
+            lock: RawSimpleLock::named(name),
+            level: AtomicU8::new(LEVEL_UNSET),
+        }
+    }
+
+    /// [`SplLock::at_level`] with a lockstat name (see [`SplLock::named`]).
+    pub const fn named_at_level(name: &'static str, level: SplLevel) -> Self {
+        SplLock {
+            lock: RawSimpleLock::named(name),
             level: AtomicU8::new(level as u8),
         }
     }

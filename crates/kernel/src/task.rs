@@ -57,11 +57,14 @@ impl Task {
     /// behaviour improves.
     pub fn create() -> ObjRef<Task> {
         ObjRef::new(Task {
-            header: ObjHeader::new_sharded(),
-            state: SimpleLocked::new(TaskState {
-                threads: Vec::new(),
-                suspend_count: 0,
-            }),
+            header: ObjHeader::new_sharded_named("task.ref"),
+            state: SimpleLocked::named(
+                "task.lock",
+                TaskState {
+                    threads: Vec::new(),
+                    suspend_count: 0,
+                },
+            ),
             ipc_space: PortNameSpace::new(),
         })
     }

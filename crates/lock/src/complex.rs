@@ -102,6 +102,33 @@ impl LockState {
 /// ```
 pub struct ComplexLock {
     state: SimpleLocked<LockState>,
+    /// Lockstat registration and hold-time state (`obs` feature only).
+    #[cfg(feature = "obs")]
+    obs: ComplexObs,
+}
+
+/// Per-lock observability state: registry tag (resolved lazily from
+/// `name`) plus the most recent acquisition timestamp. With concurrent
+/// readers the hold sample recorded at each release measures time
+/// since the *most recent* acquisition — exact for writers, a lower
+/// bound for overlapping readers, which is the useful shape for a
+/// contention profile.
+#[cfg(feature = "obs")]
+struct ComplexObs {
+    name: &'static str,
+    tag: machk_obs::LockTag,
+    acquired_at: core::sync::atomic::AtomicU64,
+}
+
+#[cfg(feature = "obs")]
+impl ComplexObs {
+    const fn new(name: &'static str) -> ComplexObs {
+        ComplexObs {
+            name,
+            tag: machk_obs::LockTag::new(),
+            acquired_at: core::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl ComplexLock {
@@ -111,8 +138,21 @@ impl ComplexLock {
     /// "Locks without the sleep option cannot be held during blocking
     /// operations or context switches."
     pub const fn new(can_sleep: bool) -> Self {
+        Self::named("", can_sleep)
+    }
+
+    /// Create a *named* lock: with the `obs` feature the name
+    /// identifies this lock in lockstat reports (reader/writer/upgrade
+    /// breakdown, wait and hold histograms, order diagnostics).
+    /// Without the feature the name is accepted and ignored; anonymous
+    /// locks ([`ComplexLock::new`]) are never traced.
+    pub const fn named(name: &'static str, can_sleep: bool) -> Self {
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
         ComplexLock {
             state: SimpleLocked::new(LockState::new(can_sleep)),
+            #[cfg(feature = "obs")]
+            obs: ComplexObs::new(name),
         }
     }
 
@@ -161,10 +201,84 @@ impl ComplexLock {
         s.recursive_holder == Some(Self::me())
     }
 
+    // ----- observability hooks (`obs` feature; no-ops otherwise) -----
+
+    /// Registry id: 0 for anonymous locks, else lazily registered.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_id(&self) -> u32 {
+        if self.obs.name.is_empty() {
+            0
+        } else {
+            self.obs
+                .tag
+                .ensure(self.obs.name, machk_obs::LockClass::Complex, "rw")
+        }
+    }
+
+    /// Trace a successful read or write acquisition.
+    #[cfg(feature = "obs")]
+    fn obs_acquired(&self, op: machk_obs::ComplexOp, kind: machk_obs::EventKind, t0: u64, waited: bool) {
+        let id = self.obs_id();
+        if id == 0 {
+            return;
+        }
+        let now = machk_obs::now_ns();
+        let wait = now.saturating_sub(t0);
+        machk_obs::registry::record_complex(id, op, wait, waited);
+        self.obs
+            .acquired_at
+            .store(now, core::sync::atomic::Ordering::Relaxed);
+        machk_obs::emit(kind, id, wait);
+        machk_obs::order::lock_acquired(id);
+    }
+
+    /// Trace a mode transition on an already-held lock (upgrade ok,
+    /// upgrade failed, downgrade).
+    #[cfg(feature = "obs")]
+    fn obs_transition(&self, op: machk_obs::ComplexOp, kind: machk_obs::EventKind) {
+        let id = self.obs_id();
+        if id == 0 {
+            return;
+        }
+        machk_obs::registry::record_complex(id, op, 0, false);
+        machk_obs::emit(kind, id, 0);
+    }
+
+    /// Trace a release (`lock_done`): hold-time histogram + order pop.
+    #[cfg(feature = "obs")]
+    fn obs_released(&self) {
+        let Some(id) = self.obs.tag.get() else {
+            return;
+        };
+        let hold = machk_obs::now_ns().saturating_sub(
+            self.obs
+                .acquired_at
+                .load(core::sync::atomic::Ordering::Relaxed),
+        );
+        machk_obs::registry::record_hold(id, hold);
+        machk_obs::emit(machk_obs::EventKind::ComplexRelease, id, hold);
+        machk_obs::order::lock_released(id);
+    }
+
+    /// Trace a failed try operation.
+    #[cfg(feature = "obs")]
+    fn obs_try_fail(&self) {
+        let id = self.obs_id();
+        if id == 0 {
+            return;
+        }
+        machk_obs::registry::record_try_failure(id);
+        machk_obs::emit(machk_obs::EventKind::ComplexTryFail, id, 0);
+    }
+
     // ----- raw operations (Appendix B semantics) -----
 
     /// Acquire for writing (`lock_write`).
     pub fn write_raw(&self) {
+        #[cfg(feature = "obs")]
+        let t0 = machk_obs::now_ns();
+        let mut waited = false;
         let mut s = self.state.lock();
         if Self::is_recursive_holder(&s) {
             assert!(
@@ -180,18 +294,32 @@ impl ComplexLock {
         // and — because lock_read refuses while it is set — makes the
         // pending writer visible to new readers (writers priority).
         while s.want_write {
+            waited = true;
             s = self.wait(s, &mut spins);
         }
         s.want_write = true;
         // Phase 2: wait for current readers (and any upgrade, which is
         // favored over writes) to drain.
         while s.read_count > 0 || s.want_upgrade {
+            waited = true;
             s = self.wait(s, &mut spins);
         }
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_acquired(
+            machk_obs::ComplexOp::Write,
+            machk_obs::EventKind::ComplexWrite,
+            t0,
+            waited,
+        );
+        let _ = waited;
     }
 
     /// Acquire for reading (`lock_read`).
     pub fn read_raw(&self) {
+        #[cfg(feature = "obs")]
+        let t0 = machk_obs::now_ns();
+        let mut waited = false;
         let mut s = self.state.lock();
         if Self::is_recursive_holder(&s) {
             // The recursive holder's requests "are not blocked by a
@@ -204,9 +332,19 @@ impl ComplexLock {
         // Writers priority: a pending (or holding) writer or upgrader
         // blocks new readers.
         while s.want_write || s.want_upgrade {
+            waited = true;
             s = self.wait(s, &mut spins);
         }
         s.read_count += 1;
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_acquired(
+            machk_obs::ComplexOp::Read,
+            machk_obs::EventKind::ComplexRead,
+            t0,
+            waited,
+        );
+        let _ = waited;
     }
 
     /// Release however held (`lock_done`).
@@ -233,6 +371,9 @@ impl ComplexLock {
             panic!("lock_done on a lock that is not held");
         }
         self.wake_waiters(&mut s);
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_released();
     }
 
     /// Upgrade read → write (`lock_read_to_write`).
@@ -258,6 +399,18 @@ impl ComplexLock {
             if s.read_count == 0 {
                 self.wake_waiters(&mut s);
             }
+            drop(s);
+            #[cfg(feature = "obs")]
+            {
+                self.obs_transition(
+                    machk_obs::ComplexOp::UpgradeFailed,
+                    machk_obs::EventKind::ComplexUpgradeFail,
+                );
+                // The failed upgrade released our read hold.
+                if let Some(id) = self.obs.tag.get() {
+                    machk_obs::order::lock_released(id);
+                }
+            }
             return true;
         }
         s.want_upgrade = true;
@@ -265,6 +418,12 @@ impl ComplexLock {
         while s.read_count > 0 {
             s = self.wait(s, &mut spins);
         }
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_transition(
+            machk_obs::ComplexOp::UpgradeOk,
+            machk_obs::EventKind::ComplexUpgradeOk,
+        );
         false
     }
 
@@ -287,6 +446,12 @@ impl ComplexLock {
         }
         // Other readers may now enter.
         self.wake_waiters(&mut s);
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_transition(
+            machk_obs::ComplexOp::Downgrade,
+            machk_obs::EventKind::ComplexDowngrade,
+        );
     }
 
     /// Single attempt to acquire for writing (`lock_try_write`).
@@ -301,9 +466,20 @@ impl ComplexLock {
             return true;
         }
         if s.want_write || s.want_upgrade || s.read_count > 0 {
+            drop(s);
+            #[cfg(feature = "obs")]
+            self.obs_try_fail();
             return false;
         }
         s.want_write = true;
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_acquired(
+            machk_obs::ComplexOp::Write,
+            machk_obs::EventKind::ComplexWrite,
+            machk_obs::now_ns(),
+            false,
+        );
         true
     }
 
@@ -316,9 +492,20 @@ impl ComplexLock {
             return true;
         }
         if s.want_write || s.want_upgrade {
+            drop(s);
+            #[cfg(feature = "obs")]
+            self.obs_try_fail();
             return false;
         }
         s.read_count += 1;
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_acquired(
+            machk_obs::ComplexOp::Read,
+            machk_obs::EventKind::ComplexRead,
+            machk_obs::now_ns(),
+            false,
+        );
         true
     }
 
@@ -343,6 +530,9 @@ impl ComplexLock {
             "upgrades of recursive read acquisitions are prohibited"
         );
         if s.want_upgrade {
+            drop(s);
+            #[cfg(feature = "obs")]
+            self.obs_try_fail();
             return false; // keep the read lock
         }
         s.want_upgrade = true;
@@ -351,6 +541,12 @@ impl ComplexLock {
         while s.read_count > 0 {
             s = self.wait(s, &mut spins);
         }
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_transition(
+            machk_obs::ComplexOp::UpgradeOk,
+            machk_obs::EventKind::ComplexUpgradeOk,
+        );
         true
     }
 

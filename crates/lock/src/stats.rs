@@ -52,6 +52,31 @@ impl ComplexStatsSnapshot {
     }
 }
 
+/// Complex-lock snapshots render through the same trait (and therefore
+/// the same table shape) as `machk-sync`'s simple-lock snapshots:
+/// `machk_obs::render_stats` accepts either.
+#[cfg(feature = "obs")]
+impl machk_obs::StatsRows for ComplexStatsSnapshot {
+    fn stats_kind(&self) -> &'static str {
+        "complex"
+    }
+
+    fn counter_rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("upgrades_ok", self.upgrades_ok),
+            ("upgrades_failed", self.upgrades_failed),
+            ("downgrades", self.downgrades),
+            ("try_failures", self.try_failures),
+        ]
+    }
+
+    fn rate_rows(&self) -> Vec<(&'static str, f64)> {
+        vec![("upgrade_failure_rate", self.upgrade_failure_rate())]
+    }
+}
+
 /// A complex lock bundled with statistics counters. Exposes the raw
 /// (Appendix-B-shaped) operations; every call is counted.
 pub struct InstrumentedComplexLock {

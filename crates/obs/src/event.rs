@@ -1,0 +1,157 @@
+//! The typed trace event — the unit the rings record.
+//!
+//! Events are fixed-size and `Copy` so a ring slot can store one as
+//! four atomic words (the crate-private `pack` / `unpack` pair);
+//! the per-slot seqlock in [`crate::ring`] validates that the four
+//! words belong to the same write, so readers never see a torn event.
+
+/// What happened. One discriminant per traced operation across every
+/// synchronization layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum EventKind {
+    /// Simple lock acquired; `arg` = wait time in ns (0 if first-try).
+    SimpleAcquire = 0,
+    /// Simple lock acquisition was contended; `arg` = failed/waited
+    /// spin rounds before success.
+    SimpleContended = 1,
+    /// Simple lock released; `arg` = hold time in ns.
+    SimpleRelease = 2,
+    /// `simple_lock_try` failed.
+    SimpleTryFail = 3,
+    /// Complex lock acquired for read; `arg` = wait ns.
+    ComplexRead = 4,
+    /// Complex lock acquired for write; `arg` = wait ns.
+    ComplexWrite = 5,
+    /// Read→write upgrade succeeded; `arg` = wait ns.
+    ComplexUpgradeOk = 6,
+    /// Read→write upgrade failed (read lock lost, §7.1 recovery case).
+    ComplexUpgradeFail = 7,
+    /// Write→read downgrade.
+    ComplexDowngrade = 8,
+    /// Complex lock released (`lock_done`); `arg` = hold ns for write
+    /// holds, 0 where the raw interface cannot attribute the hold.
+    ComplexRelease = 9,
+    /// Complex try-acquisition failed.
+    ComplexTryFail = 10,
+    /// Reference taken; `arg` = approximate count after.
+    RefTake = 11,
+    /// Reference released; `arg` = approximate count after.
+    RefRelease = 12,
+    /// Sharded count drained to exact (slow path serialization).
+    RefDrain = 13,
+    /// Final release detected — the destroy-now signal of §8.
+    RefFinal = 14,
+    /// Object deactivated (§9 transition).
+    Deactivate = 15,
+    /// spl raised; `arg` = (new level << 8) | previous level.
+    SplRaise = 16,
+    /// spl restored; `arg` = restored-to level.
+    SplRestore = 17,
+    /// Thread declared + blocked on an event; `arg` = event word.
+    EventWait = 18,
+    /// Wakeup posted; `arg` = number of threads awakened.
+    EventWakeup = 19,
+    /// Unrecognized discriminant (forward compatibility of unpack).
+    Unknown = 255,
+}
+
+impl EventKind {
+    /// Decode a kind byte; unknown values map to [`EventKind::Unknown`].
+    pub fn from_u8(v: u8) -> EventKind {
+        use EventKind::*;
+        match v {
+            0 => SimpleAcquire,
+            1 => SimpleContended,
+            2 => SimpleRelease,
+            3 => SimpleTryFail,
+            4 => ComplexRead,
+            5 => ComplexWrite,
+            6 => ComplexUpgradeOk,
+            7 => ComplexUpgradeFail,
+            8 => ComplexDowngrade,
+            9 => ComplexRelease,
+            10 => ComplexTryFail,
+            11 => RefTake,
+            12 => RefRelease,
+            13 => RefDrain,
+            14 => RefFinal,
+            15 => Deactivate,
+            16 => SplRaise,
+            17 => SplRestore,
+            18 => EventWait,
+            19 => EventWakeup,
+            _ => Unknown,
+        }
+    }
+}
+
+/// One trace record: when, what, on which lock, by which thread, and a
+/// kind-specific argument (wait/hold nanoseconds, counts, levels — see
+/// each [`EventKind`] variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since process trace epoch ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Registry id of the lock/count involved; 0 = unregistered.
+    pub lock_id: u32,
+    /// Dense id of the emitting thread ([`crate::thread_tag`]).
+    pub thread: u32,
+    /// Kind-specific argument.
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Pack into four words for atomic slot storage.
+    #[inline]
+    pub(crate) fn pack(&self) -> [u64; 4] {
+        [
+            self.ts_ns,
+            (u64::from(self.kind as u8) << 32) | u64::from(self.lock_id),
+            u64::from(self.thread),
+            self.arg,
+        ]
+    }
+
+    /// Inverse of [`TraceEvent::pack`].
+    #[inline]
+    pub(crate) fn unpack(w: [u64; 4]) -> TraceEvent {
+        TraceEvent {
+            ts_ns: w[0],
+            kind: EventKind::from_u8((w[1] >> 32) as u8),
+            lock_id: w[1] as u32,
+            thread: w[2] as u32,
+            arg: w[3],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrips() {
+        let ev = TraceEvent {
+            ts_ns: 123_456_789_012,
+            kind: EventKind::ComplexUpgradeFail,
+            lock_id: 0xDEAD_BEEF,
+            thread: 42,
+            arg: u64::MAX - 7,
+        };
+        assert_eq!(TraceEvent::unpack(ev.pack()), ev);
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_u8() {
+        for v in 0..=19u8 {
+            let k = EventKind::from_u8(v);
+            assert_ne!(k, EventKind::Unknown, "kind {v} lost");
+            assert_eq!(k as u8, v);
+        }
+        assert_eq!(EventKind::from_u8(200), EventKind::Unknown);
+    }
+}

@@ -1,0 +1,496 @@
+//! The global lock registry: names, classes, and per-lock counters.
+//!
+//! A trace that says "lock 0x7f3a… was contended" is useless; the
+//! registry is what lets the report say `vm_object.ref` instead. Locks
+//! register lazily on their first traced operation through a
+//! [`LockTag`] — a single atomic embedded in the lock — so `const`
+//! constructors stay `const` and the untraced build carries nothing.
+//!
+//! Counters and histograms live in a static slab indexed by id, so the
+//! traced hot path is entirely lock-free: resolve the id (one relaxed
+//! load after the first operation), then a few relaxed increments.
+//! Names and classes live in a mutex-protected side table consulted
+//! only at registration and reporting time.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::hist::{HistSnapshot, Log2Hist};
+
+/// Capacity of the counter slab. Ids past the slab all alias slot 0,
+/// the overflow bucket, so registration never fails — a report just
+/// shows an `<overflow>` row if a run creates this many distinct
+/// *named* locks (per-object anonymous locks are not registered).
+pub const MAX_LOCKS: usize = 512;
+
+/// What kind of synchronization object an id names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockClass {
+    /// A `machk-sync` simple (spin) lock.
+    Simple,
+    /// A `machk-lock` complex (reader/writer) lock.
+    Complex,
+    /// A `machk-intr` spl-checked lock.
+    Spl,
+    /// A reference count (`ShardedRefCount` or a locked count).
+    RefCount,
+    /// Anything else.
+    Other,
+}
+
+impl LockClass {
+    /// Short label for report columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockClass::Simple => "simple",
+            LockClass::Complex => "complex",
+            LockClass::Spl => "spl",
+            LockClass::RefCount => "refcount",
+            LockClass::Other => "other",
+        }
+    }
+}
+
+/// Per-lock counters and distributions, all updated with relaxed
+/// atomics from the traced paths.
+pub struct LockEntry {
+    /// Successful blocking acquisitions (simple) or read+write
+    /// acquisitions (complex).
+    pub acquires: AtomicU32,
+    /// Acquisitions that did not succeed on the first attempt.
+    pub contended: AtomicU32,
+    /// Failed try-acquisitions.
+    pub try_failures: AtomicU32,
+    /// Wait-to-acquire distribution (ns).
+    pub wait: Log2Hist,
+    /// Hold-time distribution (ns).
+    pub hold: Log2Hist,
+    /// Complex-lock breakdown.
+    pub reads: AtomicU32,
+    /// Write acquisitions (complex).
+    pub writes: AtomicU32,
+    /// Successful read→write upgrades.
+    pub upgrades_ok: AtomicU32,
+    /// Failed upgrades (read lock lost).
+    pub upgrades_failed: AtomicU32,
+    /// Write→read downgrades.
+    pub downgrades: AtomicU32,
+    /// Reference-count traffic.
+    pub ref_takes: AtomicU32,
+    /// Reference releases.
+    pub ref_releases: AtomicU32,
+    /// Drain-to-exact slow paths.
+    pub ref_drains: AtomicU32,
+}
+
+impl LockEntry {
+    const fn new() -> LockEntry {
+        LockEntry {
+            acquires: AtomicU32::new(0),
+            contended: AtomicU32::new(0),
+            try_failures: AtomicU32::new(0),
+            wait: Log2Hist::new(),
+            hold: Log2Hist::new(),
+            reads: AtomicU32::new(0),
+            writes: AtomicU32::new(0),
+            upgrades_ok: AtomicU32::new(0),
+            upgrades_failed: AtomicU32::new(0),
+            downgrades: AtomicU32::new(0),
+            ref_takes: AtomicU32::new(0),
+            ref_releases: AtomicU32::new(0),
+            ref_drains: AtomicU32::new(0),
+        }
+    }
+}
+
+static ENTRIES: [LockEntry; MAX_LOCKS] = [const { LockEntry::new() }; MAX_LOCKS];
+
+/// Ids are handed out from 1; 0 means "unregistered / overflow".
+static NEXT_ID: AtomicU32 = AtomicU32::new(1);
+
+#[derive(Clone)]
+struct LockMeta {
+    id: u32,
+    name: &'static str,
+    class: LockClass,
+    /// Acquisition-policy label for the per-policy report section
+    /// (`"tas"`, `"mcs"`, …; empty when not applicable).
+    policy: &'static str,
+}
+
+fn meta_table() -> &'static Mutex<Vec<LockMeta>> {
+    static META: OnceLock<Mutex<Vec<LockMeta>>> = OnceLock::new();
+    META.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a lock, returning its id. Prefer [`LockTag`] from lock
+/// implementations; this is the raw entry point for one-off sites.
+///
+/// Registration dedupes on `(name, class, policy)`: every instance of a
+/// per-object lock (each task's `"task.lock"`, each map's
+/// `"vm_map.lock"`) shares one id and one set of counters. That is what
+/// makes the report aggregate per lock *name* — and what keeps the
+/// fixed [`MAX_LOCKS`] slab from being exhausted by object churn.
+pub fn register(name: &'static str, class: LockClass, policy: &'static str) -> u32 {
+    let mut meta = meta_table().lock().unwrap();
+    if let Some(m) = meta
+        .iter()
+        .find(|m| m.name == name && m.class == class && m.policy == policy)
+    {
+        return m.id;
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    meta.push(LockMeta {
+        id,
+        name,
+        class,
+        policy,
+    });
+    id
+}
+
+/// The counter slab entry for `id` (slot 0 is the shared overflow /
+/// unregistered bucket).
+#[inline]
+pub fn entry(id: u32) -> &'static LockEntry {
+    let idx = id as usize;
+    if idx < MAX_LOCKS {
+        &ENTRIES[idx]
+    } else {
+        &ENTRIES[0]
+    }
+}
+
+/// A lazily-registered lock identity, embeddable in `const` contexts.
+///
+/// The id is assigned on the first [`LockTag::ensure`] call; a
+/// `REGISTERING` sentinel makes racing first calls converge on one id.
+pub struct LockTag {
+    id: AtomicU32,
+}
+
+const REGISTERING: u32 = u32::MAX;
+
+impl LockTag {
+    /// An unregistered tag.
+    pub const fn new() -> LockTag {
+        LockTag {
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// The registry id, registering `name` on first use.
+    #[inline]
+    pub fn ensure(&self, name: &'static str, class: LockClass, policy: &'static str) -> u32 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 && id != REGISTERING {
+            return id;
+        }
+        self.ensure_slow(name, class, policy)
+    }
+
+    #[cold]
+    fn ensure_slow(&self, name: &'static str, class: LockClass, policy: &'static str) -> u32 {
+        match self
+            .id
+            .compare_exchange(0, REGISTERING, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                let id = register(name, class, policy);
+                self.id.store(id, Ordering::Release);
+                id
+            }
+            Err(_) => {
+                // Another thread is registering (or has registered);
+                // wait out the sentinel.
+                loop {
+                    let id = self.id.load(Ordering::Acquire);
+                    if id != REGISTERING && id != 0 {
+                        return id;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// The id, if already registered.
+    pub fn get(&self) -> Option<u32> {
+        let id = self.id.load(Ordering::Relaxed);
+        (id != 0 && id != REGISTERING).then_some(id)
+    }
+}
+
+impl Default for LockTag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---- record helpers (the functions trace hooks call) ----
+
+/// Record a blocking acquisition: wait time and whether it contended.
+#[inline]
+pub fn record_acquire(id: u32, wait_ns: u64, contended: bool) {
+    let e = entry(id);
+    e.acquires.fetch_add(1, Ordering::Relaxed);
+    if contended {
+        e.contended.fetch_add(1, Ordering::Relaxed);
+    }
+    e.wait.record(wait_ns);
+}
+
+/// Record a release with the observed hold time.
+#[inline]
+pub fn record_hold(id: u32, hold_ns: u64) {
+    entry(id).hold.record(hold_ns);
+}
+
+/// Record a failed try-acquisition.
+#[inline]
+pub fn record_try_failure(id: u32) {
+    entry(id).try_failures.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Complex-lock operations for [`record_complex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComplexOp {
+    /// Read acquisition.
+    Read,
+    /// Write acquisition.
+    Write,
+    /// Upgrade that succeeded.
+    UpgradeOk,
+    /// Upgrade that failed (read lock released).
+    UpgradeFailed,
+    /// Write→read downgrade.
+    Downgrade,
+}
+
+/// Record a complex-lock operation. `wait_ns` counts toward the wait
+/// histogram for read/write/upgrade-ok; `contended` says whether the
+/// acquisition actually waited for another holder (the trace hook
+/// knows; elapsed time alone cannot distinguish a slow clock read
+/// from a real wait).
+#[inline]
+pub fn record_complex(id: u32, op: ComplexOp, wait_ns: u64, contended: bool) {
+    let e = entry(id);
+    match op {
+        ComplexOp::Read => {
+            e.reads.fetch_add(1, Ordering::Relaxed);
+            e.acquires.fetch_add(1, Ordering::Relaxed);
+            if contended {
+                e.contended.fetch_add(1, Ordering::Relaxed);
+            }
+            e.wait.record(wait_ns);
+        }
+        ComplexOp::Write => {
+            e.writes.fetch_add(1, Ordering::Relaxed);
+            e.acquires.fetch_add(1, Ordering::Relaxed);
+            if contended {
+                e.contended.fetch_add(1, Ordering::Relaxed);
+            }
+            e.wait.record(wait_ns);
+        }
+        ComplexOp::UpgradeOk => {
+            e.upgrades_ok.fetch_add(1, Ordering::Relaxed);
+            e.wait.record(wait_ns);
+        }
+        ComplexOp::UpgradeFailed => {
+            e.upgrades_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        ComplexOp::Downgrade => {
+            e.downgrades.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reference-count operations for [`record_ref`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefOp {
+    /// Reference taken.
+    Take,
+    /// Reference released.
+    Release,
+    /// Drain-to-exact slow path ran.
+    Drain,
+}
+
+/// Record reference-count traffic.
+#[inline]
+pub fn record_ref(id: u32, op: RefOp) {
+    let e = entry(id);
+    match op {
+        RefOp::Take => e.ref_takes.fetch_add(1, Ordering::Relaxed),
+        RefOp::Release => e.ref_releases.fetch_add(1, Ordering::Relaxed),
+        RefOp::Drain => e.ref_drains.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+// ---- snapshotting for reports ----
+
+/// Plain-data copy of one registered lock's identity and counters.
+#[derive(Clone, Debug)]
+pub struct LockReport {
+    /// Registry id.
+    pub id: u32,
+    /// Static name given at registration.
+    pub name: &'static str,
+    /// Lock class.
+    pub class: LockClass,
+    /// Acquisition-policy label (may be empty).
+    pub policy: &'static str,
+    /// Total acquisitions.
+    pub acquires: u64,
+    /// Contended acquisitions.
+    pub contended: u64,
+    /// Failed try-acquisitions.
+    pub try_failures: u64,
+    /// Wait-time distribution.
+    pub wait: HistSnapshot,
+    /// Hold-time distribution.
+    pub hold: HistSnapshot,
+    /// Complex breakdown: reads.
+    pub reads: u64,
+    /// Complex breakdown: writes.
+    pub writes: u64,
+    /// Complex breakdown: successful upgrades.
+    pub upgrades_ok: u64,
+    /// Complex breakdown: failed upgrades.
+    pub upgrades_failed: u64,
+    /// Complex breakdown: downgrades.
+    pub downgrades: u64,
+    /// Refcount traffic: takes.
+    pub ref_takes: u64,
+    /// Refcount traffic: releases.
+    pub ref_releases: u64,
+    /// Refcount traffic: drains.
+    pub ref_drains: u64,
+}
+
+impl LockReport {
+    /// Contention rate: contended / acquires.
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquires as f64
+        }
+    }
+}
+
+/// Snapshot every registered lock's counters.
+pub fn snapshot() -> Vec<LockReport> {
+    let meta: Vec<LockMeta> = meta_table().lock().unwrap().clone();
+    meta.iter()
+        .map(|m| {
+            let e = entry(m.id);
+            LockReport {
+                id: m.id,
+                name: m.name,
+                class: m.class,
+                policy: m.policy,
+                acquires: u64::from(e.acquires.load(Ordering::Relaxed)),
+                contended: u64::from(e.contended.load(Ordering::Relaxed)),
+                try_failures: u64::from(e.try_failures.load(Ordering::Relaxed)),
+                wait: e.wait.snapshot(),
+                hold: e.hold.snapshot(),
+                reads: u64::from(e.reads.load(Ordering::Relaxed)),
+                writes: u64::from(e.writes.load(Ordering::Relaxed)),
+                upgrades_ok: u64::from(e.upgrades_ok.load(Ordering::Relaxed)),
+                upgrades_failed: u64::from(e.upgrades_failed.load(Ordering::Relaxed)),
+                downgrades: u64::from(e.downgrades.load(Ordering::Relaxed)),
+                ref_takes: u64::from(e.ref_takes.load(Ordering::Relaxed)),
+                ref_releases: u64::from(e.ref_releases.load(Ordering::Relaxed)),
+                ref_drains: u64::from(e.ref_drains.load(Ordering::Relaxed)),
+            }
+        })
+        .collect()
+}
+
+/// Resolve an id to its registered name (reports, cycle rendering).
+pub fn name_of(id: u32) -> &'static str {
+    meta_table()
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|m| m.id == id)
+        .map(|m| m.name)
+        .unwrap_or("<unregistered>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_distinct_ids_and_names() {
+        let a = register("test.registry.a", LockClass::Simple, "tas");
+        let b = register("test.registry.b", LockClass::Complex, "");
+        assert_ne!(a, b);
+        assert_eq!(name_of(a), "test.registry.a");
+        assert_eq!(name_of(b), "test.registry.b");
+        assert_eq!(name_of(u32::MAX - 1), "<unregistered>");
+    }
+
+    #[test]
+    fn tag_registers_once_across_threads() {
+        static TAG: LockTag = LockTag::new();
+        let ids: Vec<u32> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| TAG.ensure("test.registry.tag", LockClass::Simple, "mcs")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "one id for all: {ids:?}");
+        assert_eq!(TAG.get(), Some(ids[0]));
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let id = register("test.registry.counted", LockClass::Simple, "ttas");
+        record_acquire(id, 0, false);
+        record_acquire(id, 1_000, true);
+        record_hold(id, 500);
+        record_try_failure(id);
+        let rep = snapshot()
+            .into_iter()
+            .find(|r| r.id == id)
+            .expect("registered lock in snapshot");
+        assert_eq!(rep.acquires, 2);
+        assert_eq!(rep.contended, 1);
+        assert_eq!(rep.try_failures, 1);
+        assert_eq!(rep.wait.count, 2);
+        assert_eq!(rep.hold.count, 1);
+        assert_eq!(rep.contention_rate(), 0.5);
+    }
+
+    #[test]
+    fn complex_and_ref_breakdowns() {
+        let id = register("test.registry.cx", LockClass::Complex, "");
+        record_complex(id, ComplexOp::Read, 0, false);
+        record_complex(id, ComplexOp::Write, 10, true);
+        record_complex(id, ComplexOp::UpgradeOk, 5, false);
+        record_complex(id, ComplexOp::UpgradeFailed, 0, false);
+        record_complex(id, ComplexOp::Downgrade, 0, false);
+        record_ref(id, RefOp::Take);
+        record_ref(id, RefOp::Release);
+        record_ref(id, RefOp::Drain);
+        let rep = snapshot().into_iter().find(|r| r.id == id).unwrap();
+        assert_eq!(
+            (rep.reads, rep.writes, rep.upgrades_ok, rep.upgrades_failed, rep.downgrades),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!((rep.ref_takes, rep.ref_releases, rep.ref_drains), (1, 1, 1));
+        assert_eq!(rep.contended, 1, "only the flagged write counts as contended");
+    }
+
+    #[test]
+    fn overflow_ids_alias_slot_zero() {
+        let before = entry(0).acquires.load(Ordering::Relaxed);
+        record_acquire(u32::MAX - 2, 0, false);
+        assert_eq!(entry(0).acquires.load(Ordering::Relaxed), before + 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! The unified stats-snapshot surface.
+//!
+//! The seed grew two ad-hoc snapshot types — `machk-sync`'s
+//! `StatsSnapshot` for simple locks and `machk-lock`'s
+//! `ComplexStatsSnapshot` for reader/writer locks — each with its own
+//! render method. [`StatsRows`] is the one trait both implement: a
+//! snapshot is a kind label, a set of named counters, and a set of
+//! named rates. [`render_stats`] turns any implementor into the same
+//! table shape, so experiment output and the lockstat report agree on
+//! formatting regardless of which lock family produced the numbers.
+
+/// A uniform, renderable view of a lock-statistics snapshot.
+pub trait StatsRows {
+    /// Which lock family produced this snapshot (`"simple"`,
+    /// `"complex"`, …).
+    fn stats_kind(&self) -> &'static str;
+
+    /// Monotonic event counters, in display order.
+    fn counter_rows(&self) -> Vec<(&'static str, u64)>;
+
+    /// Derived rates in `0.0..=1.0`, in display order (may be empty).
+    fn rate_rows(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+/// Render any [`StatsRows`] implementor as an aligned two-column
+/// table, one counter or rate per line.
+pub fn render_stats(title: &str, s: &dyn StatsRows) -> String {
+    let counters = s.counter_rows();
+    let rates = s.rate_rows();
+    let width = counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(rates.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0);
+    let mut out = format!("{title} [{}]\n", s.stats_kind());
+    for (name, v) in &counters {
+        out.push_str(&format!("  {name:<width$} {v:>12}\n"));
+    }
+    for (name, r) in &rates {
+        out.push_str(&format!("  {name:<width$} {:>11.2}%\n", r * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl StatsRows for Fake {
+        fn stats_kind(&self) -> &'static str {
+            "fake"
+        }
+        fn counter_rows(&self) -> Vec<(&'static str, u64)> {
+            vec![("acquisitions", 10), ("contended", 3)]
+        }
+        fn rate_rows(&self) -> Vec<(&'static str, f64)> {
+            vec![("contention_rate", 0.3)]
+        }
+    }
+
+    #[test]
+    fn renders_counters_and_rates() {
+        let r = render_stats("test.lock", &Fake);
+        assert!(r.contains("test.lock [fake]"), "{r}");
+        assert!(r.contains("acquisitions"), "{r}");
+        assert!(r.contains("30.00%"), "{r}");
+    }
+}

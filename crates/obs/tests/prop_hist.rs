@@ -1,0 +1,60 @@
+//! Property tests: the concurrent atomic histogram is exactly the
+//! serial reference histogram for the same multiset of samples —
+//! regardless of how the samples are split across recording threads.
+
+use machk_obs::{HistSnapshot, Log2Hist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Samples recorded concurrently from several threads aggregate to
+    /// the same snapshot as histogramming the values serially.
+    #[test]
+    fn concurrent_recording_matches_serial_reference(
+        values in proptest::collection::vec(any::<u64>(), 0..512),
+        threads in 1usize..5,
+    ) {
+        let hist = Log2Hist::new();
+        let chunk = values.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for part in values.chunks(chunk) {
+                let hist = &hist;
+                s.spawn(move || {
+                    for &v in part {
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(hist.snapshot(), HistSnapshot::from_values(&values));
+    }
+
+    /// Merging per-thread snapshots equals one snapshot of everything:
+    /// the report's merge pass loses nothing.
+    #[test]
+    fn merged_partial_snapshots_equal_whole(
+        a in proptest::collection::vec(0u64..1_000_000, 0..256),
+        b in proptest::collection::vec(0u64..1_000_000, 0..256),
+    ) {
+        let mut merged = HistSnapshot::from_values(&a);
+        merged.merge(&HistSnapshot::from_values(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, HistSnapshot::from_values(&all));
+    }
+
+    /// Derived statistics stay within the recorded range.
+    #[test]
+    fn percentiles_are_ordered_and_bounded(
+        values in proptest::collection::vec(0u64..10_000_000, 1..256),
+    ) {
+        let s = HistSnapshot::from_values(&values);
+        let p50 = s.percentile(50);
+        let p99 = s.percentile(99);
+        prop_assert!(p50 <= p99, "p50 {p50} <= p99 {p99}");
+        // Log2 resolution: a percentile is at most one bucket above max.
+        let max = *values.iter().max().unwrap();
+        prop_assert!(p99 <= max.next_power_of_two().max(1), "p99 {p99} vs max {max}");
+    }
+}

@@ -68,9 +68,17 @@ impl ObjHeader {
     /// serializing on the header lock. Use for objects whose references
     /// churn from many threads at once (the kernel task, hot VM objects).
     pub fn new_sharded() -> Self {
+        Self::new_sharded_named("")
+    }
+
+    /// [`ObjHeader::new_sharded`] with a lockstat name for the count:
+    /// with the `obs` feature, takes/releases/drains of this header's
+    /// references report under `name` (say, `"task.ref"` or
+    /// `"vm_object.ref"`). Without the feature the name is ignored.
+    pub fn new_sharded_named(name: &'static str) -> Self {
         let header = ObjHeader::new();
         header.sharded.store(
-            Box::into_raw(Box::new(ShardedRefCount::new())),
+            Box::into_raw(Box::new(ShardedRefCount::named(name))),
             Ordering::Release,
         );
         header
@@ -140,6 +148,12 @@ impl ObjHeader {
     pub fn deactivate(&self) -> Result<(), Deactivated> {
         let _g = self.lock.lock();
         if self.active.swap(false, Ordering::Relaxed) {
+            #[cfg(feature = "obs")]
+            machk_obs::emit(
+                machk_obs::EventKind::Deactivate,
+                self.sharded_count().map(|s| s.obs_id()).unwrap_or(0),
+                0,
+            );
             Ok(())
         } else {
             Err(Deactivated)

@@ -86,16 +86,59 @@ pub struct ShardedRefCount {
     /// Serializes every slow path; held for the full drain, so a closed
     /// shard always means "the holder of this lock is reconciling".
     drain_lock: RawSimpleLock,
+    /// Lockstat registration (`obs` feature only).
+    #[cfg(feature = "obs")]
+    obs_tag: machk_obs::LockTag,
+    #[cfg(feature = "obs")]
+    obs_name: &'static str,
 }
 
 impl ShardedRefCount {
     /// A count holding the creation reference ("an object is created with
     /// a single reference to itself").
     pub fn new() -> ShardedRefCount {
+        Self::named("")
+    }
+
+    /// A *named* count: with the `obs` feature, takes/releases/drains
+    /// report into the lockstat registry and trace rings under this
+    /// name. Without the feature the name is accepted and ignored;
+    /// anonymous counts are never traced.
+    pub const fn named(name: &'static str) -> ShardedRefCount {
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
         ShardedRefCount {
             shards: [const { Shard(AtomicU32::new(0)) }; NSHARDS],
             base: AtomicU32::new(1),
             drain_lock: RawSimpleLock::new(),
+            #[cfg(feature = "obs")]
+            obs_tag: machk_obs::LockTag::new(),
+            #[cfg(feature = "obs")]
+            obs_name: name,
+        }
+    }
+
+    /// Registry id: 0 for anonymous counts, else lazily registered.
+    /// Crate-visible so the header's deactivation event can carry it.
+    #[cfg(feature = "obs")]
+    #[inline]
+    pub(crate) fn obs_id(&self) -> u32 {
+        if self.obs_name.is_empty() {
+            0
+        } else {
+            self.obs_tag
+                .ensure(self.obs_name, machk_obs::LockClass::RefCount, "sharded")
+        }
+    }
+
+    /// Trace one refcount operation (take / release / drain / final).
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_ref(&self, op: machk_obs::RefOp, kind: machk_obs::EventKind, arg: u64) {
+        let id = self.obs_id();
+        if id != 0 {
+            machk_obs::registry::record_ref(id, op);
+            machk_obs::emit(kind, id, arg);
         }
     }
 
@@ -117,7 +160,11 @@ impl ShardedRefCount {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => {
+                    #[cfg(feature = "obs")]
+                    self.obs_ref(machk_obs::RefOp::Take, machk_obs::EventKind::RefTake, 0);
+                    return;
+                }
                 Err(v) => seen = v,
             }
         }
@@ -130,6 +177,8 @@ impl ShardedRefCount {
         let base = self.base.load(Ordering::Relaxed);
         assert!(base >= 1, "reference taken on a dead object (count was 0)");
         self.base.store(base + 1, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        self.obs_ref(machk_obs::RefOp::Take, machk_obs::EventKind::RefTake, 1);
     }
 
     /// Release one reference. Returns `true` iff this was the final
@@ -146,7 +195,11 @@ impl ShardedRefCount {
                 Ordering::Release,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return false,
+                Ok(_) => {
+                    #[cfg(feature = "obs")]
+                    self.obs_ref(machk_obs::RefOp::Release, machk_obs::EventKind::RefRelease, 0);
+                    return false;
+                }
                 Err(v) => seen = v,
             }
         }
@@ -162,6 +215,8 @@ impl ShardedRefCount {
             // Surplus in the exact remainder; consume it, clearly not
             // final.
             self.base.store(base - 1, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            self.obs_ref(machk_obs::RefOp::Release, machk_obs::EventKind::RefRelease, 0);
             return false;
         }
         // base == 1: releasing the last *known-exact* reference. Drain to
@@ -182,6 +237,19 @@ impl ShardedRefCount {
             .store(u32::try_from(outstanding).expect("refcount overflow"), Ordering::Relaxed);
         for s in &self.shards {
             s.0.store(0, Ordering::Release);
+        }
+        #[cfg(feature = "obs")]
+        {
+            self.obs_ref(machk_obs::RefOp::Drain, machk_obs::EventKind::RefDrain, outstanding);
+            self.obs_ref(
+                machk_obs::RefOp::Release,
+                if final_release {
+                    machk_obs::EventKind::RefFinal
+                } else {
+                    machk_obs::EventKind::RefRelease
+                },
+                0,
+            );
         }
         final_release
     }

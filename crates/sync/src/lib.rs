@@ -64,6 +64,16 @@
 //!   level (section 7); the `machk-intr` crate enforces this for code running
 //!   on its simulated CPUs.
 //!
+//! ## Observability (`obs` feature)
+//!
+//! With the `obs` feature, every *named* lock (declared via
+//! [`decl_simple_lock_data!`] or [`RawSimpleLock::named`]) reports into
+//! the `machk-obs` lockstat layer: acquisitions and contention counts,
+//! wait/hold-time histograms, per-thread trace-ring events, and
+//! lock-order edges for deadlock diagnostics. The feature is strictly
+//! opt-in: the default build does not depend on `machk-obs` at all, so
+//! the fast paths measured by E1/E5 are bit-for-bit unaffected.
+//!
 //! ## Uniprocessor compile-out
 //!
 //! Mach compiles simple locks out of uniprocessor kernels; the Appendix-A

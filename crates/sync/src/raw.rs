@@ -14,6 +14,29 @@ use crate::held;
 use crate::policy::{self, AdaptiveSpin, Backoff, SpinPolicy};
 use crate::queued::QueuedState;
 
+/// Observability state carried per lock under the `obs` feature: the
+/// registry tag (lazily resolved from `name` on first acquisition) and
+/// the timestamp of the current acquisition, for hold times. Anonymous
+/// locks (`name == ""`) are never registered and never traced — only
+/// locks declared with a name appear in lockstat reports.
+#[cfg(feature = "obs")]
+struct ObsState {
+    name: &'static str,
+    tag: machk_obs::LockTag,
+    acquired_at: core::sync::atomic::AtomicU64,
+}
+
+#[cfg(feature = "obs")]
+impl ObsState {
+    const fn new(name: &'static str) -> ObsState {
+        ObsState {
+            name,
+            tag: machk_obs::LockTag::new(),
+            acquired_at: core::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
 /// A Mach simple lock: a spinning, non-blocking mutual exclusion lock.
 ///
 /// The lock word is a single `AtomicU32` (the paper: "a C integer has been
@@ -58,6 +81,9 @@ pub struct RawSimpleLock {
     /// Debug-only: `ThreadId` hash of the holder, to catch self-deadlock.
     #[cfg(debug_assertions)]
     holder: AtomicU32,
+    /// Lockstat registration and hold-time state (`obs` feature only).
+    #[cfg(feature = "obs")]
+    obs: ObsState,
 }
 
 impl RawSimpleLock {
@@ -75,6 +101,35 @@ impl RawSimpleLock {
     /// Create an unlocked simple lock with explicit spin policy and
     /// spin-then-yield escalation thresholds.
     pub const fn with_adaptive(policy: SpinPolicy, backoff: Backoff, adaptive: AdaptiveSpin) -> Self {
+        Self::named_with_adaptive("", policy, backoff, adaptive)
+    }
+
+    /// Create an unlocked, *named* simple lock with the default policy.
+    ///
+    /// The name identifies the lock in `machk-obs` lockstat reports
+    /// (`"vm_object.lock"` rather than an address); without the `obs`
+    /// feature it is accepted and ignored, so declarations need no
+    /// `cfg`. Anonymous locks ([`RawSimpleLock::new`]) are never traced.
+    pub const fn named(name: &'static str) -> Self {
+        Self::named_with_policy(name, SpinPolicy::TasThenTtas, Backoff::NONE)
+    }
+
+    /// Create an unlocked, named simple lock with an explicit policy
+    /// (see [`RawSimpleLock::named`] for what the name does).
+    pub const fn named_with_policy(name: &'static str, policy: SpinPolicy, backoff: Backoff) -> Self {
+        Self::named_with_adaptive(name, policy, backoff, AdaptiveSpin::DEFAULT)
+    }
+
+    /// Fully explicit named constructor; every other constructor
+    /// funnels here.
+    pub const fn named_with_adaptive(
+        name: &'static str,
+        policy: SpinPolicy,
+        backoff: Backoff,
+        adaptive: AdaptiveSpin,
+    ) -> Self {
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
         RawSimpleLock {
             word: AtomicU32::new(policy::UNLOCKED),
             policy,
@@ -83,6 +138,8 @@ impl RawSimpleLock {
             queued: QueuedState::new(),
             #[cfg(debug_assertions)]
             holder: AtomicU32::new(0),
+            #[cfg(feature = "obs")]
+            obs: ObsState::new(name),
         }
     }
 
@@ -124,7 +181,15 @@ impl RawSimpleLock {
     #[inline]
     pub fn lock_raw(&self) {
         self.debug_check_not_holder();
+        #[cfg(not(feature = "obs"))]
         self.acquire_dispatch();
+        #[cfg(feature = "obs")]
+        {
+            let id = self.obs_id();
+            let t0 = machk_obs::now_ns();
+            let failures = self.acquire_dispatch();
+            self.obs_acquired(id, t0, failures);
+        }
         self.debug_set_holder();
         held::on_acquire();
     }
@@ -147,6 +212,10 @@ impl RawSimpleLock {
     pub fn unlock_raw(&self) {
         self.debug_clear_holder();
         held::on_release();
+        // Hold time must be read while the lock is still held, before
+        // the word release lets the next owner overwrite `acquired_at`.
+        #[cfg(feature = "obs")]
+        self.obs_released();
         match self.policy {
             SpinPolicy::Ticket => self.queued.ticket_release(&self.word),
             SpinPolicy::Mcs => self.queued.mcs_release(&self.word),
@@ -182,10 +251,24 @@ impl RawSimpleLock {
             _ => policy::try_acquire(&self.word),
         };
         if acquired {
+            #[cfg(feature = "obs")]
+            {
+                let id = self.obs_id();
+                let t0 = machk_obs::now_ns();
+                self.obs_acquired(id, t0, 0);
+            }
             self.debug_set_holder();
             held::on_acquire();
             true
         } else {
+            #[cfg(feature = "obs")]
+            {
+                let id = self.obs_id();
+                if id != 0 {
+                    machk_obs::registry::record_try_failure(id);
+                    machk_obs::emit(machk_obs::EventKind::SimpleTryFail, id, 0);
+                }
+            }
             false
         }
     }
@@ -219,7 +302,11 @@ impl RawSimpleLock {
     /// (support for [`crate::InstrumentedSimpleLock`]).
     pub(crate) fn acquire_counting(&self) -> u64 {
         self.debug_check_not_holder();
+        #[cfg(feature = "obs")]
+        let (id, t0) = (self.obs_id(), machk_obs::now_ns());
         let failures = self.acquire_dispatch();
+        #[cfg(feature = "obs")]
+        self.obs_acquired(id, t0, failures);
         self.debug_set_holder();
         held::on_acquire();
         failures
@@ -232,6 +319,54 @@ impl RawSimpleLock {
             lock: self,
             _not_send: core::marker::PhantomData,
         }
+    }
+
+    /// Registry id for this lock: 0 for anonymous locks, otherwise the
+    /// lazily-registered id for `obs.name`.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_id(&self) -> u32 {
+        if self.obs.name.is_empty() {
+            0
+        } else {
+            self.obs
+                .tag
+                .ensure(self.obs.name, machk_obs::LockClass::Simple, self.policy.name())
+        }
+    }
+
+    /// Post-acquisition tracing: wait-time histogram + contention
+    /// counters, acquire events, and the lock-order graph.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_acquired(&self, id: u32, t0: u64, failures: u64) {
+        if id == 0 {
+            return;
+        }
+        let now = machk_obs::now_ns();
+        let wait = now.saturating_sub(t0);
+        let contended = failures > 0;
+        machk_obs::registry::record_acquire(id, wait, contended);
+        self.obs.acquired_at.store(now, Ordering::Relaxed);
+        if contended {
+            machk_obs::emit(machk_obs::EventKind::SimpleContended, id, wait);
+        }
+        machk_obs::emit(machk_obs::EventKind::SimpleAcquire, id, wait);
+        held::trace_acquire(id);
+    }
+
+    /// Pre-release tracing: hold-time histogram, release event, order
+    /// stack pop. Must run while the lock is still held.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_released(&self) {
+        let Some(id) = self.obs.tag.get() else {
+            return;
+        };
+        let hold = machk_obs::now_ns().saturating_sub(self.obs.acquired_at.load(Ordering::Relaxed));
+        machk_obs::registry::record_hold(id, hold);
+        machk_obs::emit(machk_obs::EventKind::SimpleRelease, id, hold);
+        held::trace_release(id);
     }
 
     #[cfg(debug_assertions)]

@@ -71,6 +71,12 @@ pub fn simple_lock_try(lock: &RawSimpleLock) -> bool {
 /// `static`, matching the macro's most common kernel use
 /// ("one example of the use of this prefix is to declare a lock static").
 ///
+/// Locks declared through this macro are *named* after their
+/// identifier: with the `obs` feature enabled they register in the
+/// `machk-obs` lock registry on first acquisition, so lockstat reports
+/// say `MASTER_LOCK`, not an address. Without the feature the name
+/// costs nothing.
+///
 /// # Examples
 ///
 /// ```
@@ -84,15 +90,18 @@ pub fn simple_lock_try(lock: &RawSimpleLock) -> bool {
 macro_rules! decl_simple_lock_data {
     ($(#[$meta:meta])* pub, $name:ident) => {
         $(#[$meta])*
-        pub static $name: $crate::RawSimpleLock = $crate::RawSimpleLock::new();
+        pub static $name: $crate::RawSimpleLock =
+            $crate::RawSimpleLock::named(stringify!($name));
     };
     ($(#[$meta:meta])* pub(crate), $name:ident) => {
         $(#[$meta])*
-        pub(crate) static $name: $crate::RawSimpleLock = $crate::RawSimpleLock::new();
+        pub(crate) static $name: $crate::RawSimpleLock =
+            $crate::RawSimpleLock::named(stringify!($name));
     };
     ($(#[$meta:meta])* , $name:ident) => {
         $(#[$meta])*
-        static $name: $crate::RawSimpleLock = $crate::RawSimpleLock::new();
+        static $name: $crate::RawSimpleLock =
+            $crate::RawSimpleLock::named(stringify!($name));
     };
 }
 

@@ -64,6 +64,16 @@ impl<T> SimpleLocked<T> {
         }
     }
 
+    /// [`SimpleLocked::new`] with a lockstat name: with the `obs`
+    /// feature, acquisitions report under `name` in lock statistics.
+    /// Without the feature the name is ignored.
+    pub const fn named(name: &'static str, data: T) -> Self {
+        SimpleLocked {
+            lock: RawSimpleLock::named(name),
+            data: UnsafeCell::new(data),
+        }
+    }
+
     /// Consume the wrapper, returning the protected data.
     pub fn into_inner(self) -> T {
         self.data.into_inner()

@@ -52,6 +52,29 @@ impl StatsSnapshot {
     }
 }
 
+/// Simple-lock snapshots render through the same trait (and therefore
+/// the same table shape) as `machk-lock`'s complex-lock snapshots:
+/// `machk_obs::render_stats` accepts either.
+#[cfg(feature = "obs")]
+impl machk_obs::StatsRows for StatsSnapshot {
+    fn stats_kind(&self) -> &'static str {
+        "simple"
+    }
+
+    fn counter_rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("acquisitions", self.acquisitions),
+            ("contended", self.contended),
+            ("spin_failures", self.spin_failures),
+            ("try_failures", self.try_failures),
+        ]
+    }
+
+    fn rate_rows(&self) -> Vec<(&'static str, f64)> {
+        vec![("first_try_rate", self.first_try_rate())]
+    }
+}
+
 impl LockStats {
     /// Fresh zeroed counters.
     pub const fn new() -> Self {

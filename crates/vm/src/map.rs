@@ -287,7 +287,7 @@ impl VmMap {
     /// An empty map backed by `pool`.
     pub fn new(pool: Arc<PagePool>) -> VmMap {
         VmMap {
-            lock: ComplexLock::new(true), // the Sleep option, per the paper
+            lock: ComplexLock::named("vm_map.lock", true), // the Sleep option, per the paper
             entries: UnsafeCell::new(BTreeMap::new()),
             pool,
         }

@@ -71,13 +71,16 @@ impl VmObject {
     /// paging hybrid count and the termination protocol are untouched.
     pub fn create() -> ObjRef<VmObject> {
         ObjRef::new(VmObject {
-            header: ObjHeader::new_sharded(),
-            state: SimpleLocked::new(ObjectState {
-                ports_creating: false,
-                ports_created: false,
-                ports: None,
-                resident_pages: 0,
-            }),
+            header: ObjHeader::new_sharded_named("vm_object.ref"),
+            state: SimpleLocked::named(
+                "vm_object.lock",
+                ObjectState {
+                    ports_creating: false,
+                    ports_created: false,
+                    ports: None,
+                    resident_pages: 0,
+                },
+            ),
             paging: DrainableCount::new(),
         })
     }

@@ -131,7 +131,7 @@ impl PvSystem {
                     mappers: SimpleLocked::new(Vec::new()),
                 })
                 .collect(),
-            system_lock: ComplexLock::new(false),
+            system_lock: ComplexLock::named("pv_system.lock", false),
             discipline,
         }
     }

@@ -76,4 +76,13 @@ fn main() {
         daemon.stop()
     );
     println!("parallel_vm done");
+
+    // With `--features obs`, end with the lockstat view of the run —
+    // the vm_map lock's reader parallelism and the §7.1 write-lock
+    // contention show up as numbers instead of anecdotes.
+    #[cfg(feature = "obs")]
+    {
+        println!();
+        print!("{}", machk_obs::Lockstat::collect().render_text(8, false));
+    }
 }
