@@ -9,11 +9,16 @@
 //! ```text
 //! experiments [--quick] [E1 E7 E10 ...]
 //! experiments lockstat [--quick] [--json]
+//! experiments e17 --seeds N
 //! ```
 //!
 //! `--quick` shrinks iteration counts (used by CI); naming experiment
 //! ids runs a subset. Results for the repository's EXPERIMENTS.md come
 //! from a `--release` run without `--quick`.
+//!
+//! `--seeds N` overrides E17's seed count (each seed drives two
+//! determinism-probe runs plus four chaos scenarios). Requires a build
+//! with `--features fault`.
 //!
 //! `lockstat` runs the E16 workload and prints only the lockstat
 //! report (text, or JSON with `--json`) — the `lockstat(1M)`-style
@@ -30,10 +35,20 @@ fn main() {
         return;
     }
 
+    let seeds: Option<u64> = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
     let wanted: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_uppercase())
+        .enumerate()
+        .filter(|(i, a)| {
+            // Skip flags and the value that belongs to --seeds.
+            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--seeds")
+        })
+        .map(|(_, a)| a.to_uppercase())
         .collect();
 
     println!("Locking and Reference Counting in the Mach Kernel (ICPP 1991)");
@@ -55,7 +70,10 @@ fn main() {
         }
         println!("\n################ {id}: {title}");
         let started = std::time::Instant::now();
-        let table = run(quick);
+        let table = match (id, seeds) {
+            ("E17", Some(n)) => experiments::e17_chaos::run_with_seeds(n),
+            _ => run(quick),
+        };
         print!("{table}");
         println!("  [{id} completed in {:?}]", started.elapsed());
         ran += 1;

@@ -50,7 +50,7 @@ pub fn run(quick: bool) -> String {
                                 deactivated.fetch_add(1, Ordering::Relaxed)
                             }
                             Err(RpcError::Port(_)) => port_dead.fetch_add(1, Ordering::Relaxed),
-                            Err(RpcError::NoSuchOperation) => unreachable!(),
+                            Err(e) => unreachable!("unexpected rpc outcome: {e}"),
                         };
                     }
                 });

@@ -21,6 +21,7 @@ pub mod e13_shutdown;
 pub mod e14_shootdown;
 pub mod e15_usage_timing;
 pub mod e16_lockstat;
+pub mod e17_chaos;
 
 /// One experiment entry: `(id, title, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
@@ -103,6 +104,11 @@ pub fn all() -> Vec<Experiment> {
             "E16",
             "Kernel-wide lockstat: contention, histograms, order cycles (obs layer)",
             e16_lockstat::run,
+        ),
+        (
+            "E17",
+            "Seeded chaos: fault injection vs recovery across every layer (fault layer)",
+            e17_chaos::run,
         ),
     ]
 }

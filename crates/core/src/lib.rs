@@ -51,6 +51,9 @@ pub use machk_event::{
 };
 pub use machk_lock::{ComplexLock, HowHeld, RwData, UpgradeFailed};
 pub use machk_refcount::{
-    Deactivated, DrainableCount, LockedRefCount, ObjHeader, ObjRef, Refable, ShardedRefCount,
+    Deactivated, DrainAudit, DrainableCount, LockedRefCount, ObjHeader, ObjRef, Refable,
+    ShardedRefCount,
 };
-pub use machk_sync::{AdaptiveSpin, Backoff, RawSimpleLock, SimpleLocked, SpinPolicy};
+pub use machk_sync::{
+    AdaptiveSpin, Backoff, JitterBackoff, LockTimeout, RawSimpleLock, SimpleLocked, SpinPolicy,
+};

@@ -59,8 +59,25 @@ pub fn assert_wait(event: Event, interruptible: bool) {
 /// simple locks may not be held across a context switch).
 pub fn thread_block() -> WaitResult {
     held::assert_no_simple_locks_held("thread_block");
+    fault_spurious_wake();
     with_current(|rec| rec.block(None))
 }
+
+/// Fault hook: complete the asserted wait spuriously — the thread comes
+/// back [`WaitResult::Awakened`] without any event occurrence, so
+/// callers that fail to re-check their predicate proceed on a false
+/// assumption (the classic condition-variable discipline the paper's
+/// wait loops must follow).
+#[cfg(feature = "fault")]
+fn fault_spurious_wake() {
+    if machk_fault::fire(machk_fault::FaultSite::EventSpuriousWake) {
+        with_current(|rec| rec.wake_current(WaitResult::Awakened));
+    }
+}
+
+#[cfg(not(feature = "fault"))]
+#[inline]
+fn fault_spurious_wake() {}
 
 /// [`thread_block`] with an upper bound on the wait.
 ///
@@ -69,12 +86,20 @@ pub fn thread_block() -> WaitResult {
 /// for the stale wait is a no-op.
 pub fn thread_block_timeout(timeout: Duration) -> WaitResult {
     held::assert_no_simple_locks_held("thread_block_timeout");
+    fault_spurious_wake();
     with_current(|rec| rec.block(Some(timeout)))
 }
 
 /// Declare the occurrence of `event`, waking **all** threads waiting for
 /// it. Returns the number of threads awakened.
 pub fn thread_wakeup(event: Event) -> usize {
+    // Fault hook: the occurrence is declared but never delivered — the
+    // §6 lost-wakeup failure, injected on demand. Waiters relying on
+    // unbounded `thread_block` hang; bounded waiters diagnose.
+    #[cfg(feature = "fault")]
+    if machk_fault::fire(machk_fault::FaultSite::EventDropWakeup) {
+        return 0;
+    }
     let woken = table::wakeup(event, usize::MAX, WaitResult::Awakened);
     #[cfg(feature = "obs")]
     machk_obs::emit(machk_obs::EventKind::EventWakeup, 0, event.0 as u64);
@@ -84,6 +109,11 @@ pub fn thread_wakeup(event: Event) -> usize {
 /// Declare the occurrence of `event`, waking **at most one** waiting
 /// thread. Returns `true` if a thread was awakened.
 pub fn thread_wakeup_one(event: Event) -> bool {
+    // Fault hook: drop the single wakeup (see [`thread_wakeup`]).
+    #[cfg(feature = "fault")]
+    if machk_fault::fire(machk_fault::FaultSite::EventDropWakeup) {
+        return false;
+    }
     let woken = table::wakeup(event, 1, WaitResult::Awakened) == 1;
     #[cfg(feature = "obs")]
     machk_obs::emit(machk_obs::EventKind::EventWakeup, 0, event.0 as u64);

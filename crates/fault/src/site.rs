@@ -1,0 +1,123 @@
+//! The inventory of injection points threaded through the runtime
+//! crates.
+//!
+//! Each variant names one hook site; the hook compiles to nothing unless
+//! the owning crate's `fault` feature is enabled, and fires only while a
+//! [`FaultPlan`](crate::FaultPlan) is installed with a nonzero rate for
+//! the site. The doc comment on each variant states where the hook
+//! lives and what firing does — this enum *is* the hook inventory that
+//! DESIGN.md's fault-layer section references.
+
+use core::fmt;
+
+/// One fault-injection site. See the module docs for the inventory
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum FaultSite {
+    /// `machk-sync` `RawSimpleLock::try_lock_raw`: the attempt is forced
+    /// to fail even if the lock is free (models a lost CAS / stale
+    /// cache-line view). Callers with a backout protocol must retry.
+    SimpleTryFail = 0,
+    /// `machk-sync` `RawSimpleLock::unlock_raw`: the release is delayed
+    /// by a jittered spin before the word is actually cleared,
+    /// stretching every hold window the plan selects.
+    SimpleReleaseDelay = 1,
+    /// `machk-lock` `ComplexLock::read_to_write_raw`: the upgrade is
+    /// forced to fail exactly as if a competing upgrade were pending —
+    /// the read lock is *released* and the caller must run its §7.1
+    /// recovery logic.
+    ComplexUpgradeFail = 2,
+    /// `machk-event` `thread_wakeup` / `thread_wakeup_one`: the wakeup
+    /// is dropped — declared by the caller but never delivered. Waiters
+    /// relying on unbounded `thread_block` hang; waiters using bounded
+    /// blocks diagnose and recover.
+    EventDropWakeup = 3,
+    /// `machk-event` `thread_block` / `thread_block_timeout`: the
+    /// thread is woken spuriously, without any event occurrence.
+    /// Correct waiters re-check their predicate; incorrect ones proceed
+    /// on a false assumption.
+    EventSpuriousWake = 4,
+    /// `machk-refcount` `ShardedRefCount::take`: the take is diverted
+    /// from the per-thread shard to the serialized slow path, perturbing
+    /// the base/shard distribution the drain logic must reconcile.
+    RefTakeSlow = 5,
+    /// `machk-refcount` `ShardedRefCount::release`: the release is
+    /// diverted to the slow path, forcing extra drain-to-exact passes.
+    RefReleaseSlow = 6,
+    /// `machk-ipc` `DispatchTable::msg_rpc` step 2: the port→object
+    /// translation reports a dead port before any reference is taken.
+    RpcDeadPort = 7,
+    /// `machk-ipc` `DispatchTable::msg_rpc` step 5: the reply message is
+    /// dropped after the operation executed; surfaces as
+    /// `RpcError::ReplyDropped` with the reference ledger still
+    /// balanced.
+    RpcDropReply = 8,
+    /// `machk-intr` `SplLock::lock_result`: the acquisition is treated
+    /// as arriving at the wrong interrupt priority level, exercising the
+    /// section-7 one-level rule's diagnosis path.
+    SplWrongLevel = 9,
+}
+
+impl FaultSite {
+    /// Number of sites (array dimension for rate tables and counters).
+    pub const COUNT: usize = 10;
+
+    /// Every site, in discriminant order.
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
+        FaultSite::SimpleTryFail,
+        FaultSite::SimpleReleaseDelay,
+        FaultSite::ComplexUpgradeFail,
+        FaultSite::EventDropWakeup,
+        FaultSite::EventSpuriousWake,
+        FaultSite::RefTakeSlow,
+        FaultSite::RefReleaseSlow,
+        FaultSite::RpcDeadPort,
+        FaultSite::RpcDropReply,
+        FaultSite::SplWrongLevel,
+    ];
+
+    /// Stable snake_case name, used in rendered fault traces and the
+    /// E17 report (part of the byte-for-byte trace format).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::SimpleTryFail => "simple_try_fail",
+            FaultSite::SimpleReleaseDelay => "simple_release_delay",
+            FaultSite::ComplexUpgradeFail => "complex_upgrade_fail",
+            FaultSite::EventDropWakeup => "event_drop_wakeup",
+            FaultSite::EventSpuriousWake => "event_spurious_wake",
+            FaultSite::RefTakeSlow => "ref_take_slow",
+            FaultSite::RefReleaseSlow => "ref_release_slow",
+            FaultSite::RpcDeadPort => "rpc_dead_port",
+            FaultSite::RpcDropReply => "rpc_drop_reply",
+            FaultSite::SplWrongLevel => "spl_wrong_level",
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_ordered() {
+        assert_eq!(FaultSite::ALL.len(), FaultSite::COUNT);
+        for (i, s) in FaultSite::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultSite::COUNT);
+    }
+}

@@ -38,6 +38,8 @@ pub mod watchdog;
 
 pub use barrier::{barrier_synchronize, BarrierOutcome, IntrBarrier};
 pub use cpu::{current_cpu, current_cpu_id, Cpu, CpuGuard, Machine};
-pub use spl::{spl_current, spl_raise, spl_restore, SplLevel, SplLock, SplToken};
+pub use spl::{spl_current, spl_raise, spl_restore, SplLevel, SplLock, SplToken, SplViolation};
 pub use timer::{LockedTimerBank, TimeKind, TimerBank, UsageSnap};
-pub use watchdog::{run_threads_with_deadline, Deadline, DeadlockDetected};
+pub use watchdog::{
+    escalate, run_threads_with_deadline, Deadline, DeadlockDetected, DeadlockReport,
+};

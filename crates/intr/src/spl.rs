@@ -113,6 +113,28 @@ pub fn spl_current() -> SplLevel {
         .spl()
 }
 
+/// Violation of the section-7 one-level rule, reported (rather than
+/// panicked) by [`SplLock::lock_result`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplViolation {
+    /// The level the lock was established at.
+    pub required: SplLevel,
+    /// The level the offending acquisition arrived at.
+    pub actual: SplLevel,
+}
+
+impl fmt::Display for SplViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistent interrupt protection: lock established at {} acquired at {}",
+            self.required, self.actual
+        )
+    }
+}
+
+impl std::error::Error for SplViolation {}
+
 /// A simple lock that enforces the section-7 design rule: "each lock
 /// must always be acquired at the same interrupt priority level ... and
 /// held at that level or higher".
@@ -168,23 +190,31 @@ impl SplLock {
         }
     }
 
-    fn check_level(&self, cpu: &Cpu) {
+    /// The one-level rule as a result: `Err` names the established and
+    /// actual levels instead of panicking.
+    fn check_level_result(&self, cpu: &Cpu) -> Result<(), SplViolation> {
         let cur = cpu.spl() as u8;
         match self
             .level
             .compare_exchange(LEVEL_UNSET, cur, Ordering::Relaxed, Ordering::Relaxed)
         {
-            Ok(_) => {}
-            Err(required) => {
-                assert!(
-                    required == cur,
-                    "inconsistent interrupt protection: lock established at {} \
-                     acquired at {} (paper section 7: each lock must always be \
-                     acquired at the same interrupt priority level)",
-                    SplLevel::from_u8(required),
-                    SplLevel::from_u8(cur),
-                );
-            }
+            Ok(_) => Ok(()),
+            Err(required) if required == cur => Ok(()),
+            Err(required) => Err(SplViolation {
+                required: SplLevel::from_u8(required),
+                actual: SplLevel::from_u8(cur),
+            }),
+        }
+    }
+
+    fn check_level(&self, cpu: &Cpu) {
+        if let Err(v) = self.check_level_result(cpu) {
+            panic!(
+                "inconsistent interrupt protection: lock established at {} \
+                 acquired at {} (paper section 7: each lock must always be \
+                 acquired at the same interrupt priority level)",
+                v.required, v.actual,
+            );
         }
     }
 
@@ -210,6 +240,41 @@ impl SplLock {
         } else {
             self.lock.lock_raw();
         }
+    }
+
+    /// Acquire with the one-level rule reported as a `Result` instead
+    /// of a panic: a violation — real, or injected by the
+    /// `spl_wrong_level` fault — is *diagnosed* to the caller, which
+    /// can drop its claims and retry at the established level rather
+    /// than take down the process.
+    ///
+    /// On `Err` the lock is **not** held.
+    pub fn lock_result(&self) -> Result<(), SplViolation> {
+        if let Some(cpu) = current_cpu() {
+            self.check_level_result(&cpu)?;
+            // Fault hook: pretend the acquisition arrived at the wrong
+            // interrupt priority level even though it did not.
+            #[cfg(feature = "fault")]
+            if machk_fault::fire(machk_fault::FaultSite::SplWrongLevel) {
+                return Err(SplViolation {
+                    required: self.required_level().unwrap_or(SplLevel::Spl0),
+                    actual: cpu.spl(),
+                });
+            }
+            let mut spins = 0u32;
+            while !self.lock.try_lock_raw() {
+                cpu.poll();
+                core::hint::spin_loop();
+                spins += 1;
+                if spins >= 256 {
+                    std::thread::yield_now();
+                    spins = 0;
+                }
+            }
+        } else {
+            self.lock.lock_raw();
+        }
+        Ok(())
     }
 
     /// Release.
@@ -310,6 +375,24 @@ mod tests {
         let lock = SplLock::at_level(SplLevel::SplVm);
         // Acquiring at spl0 violates the one-level rule.
         lock.lock();
+    }
+
+    #[test]
+    fn spl_lock_result_diagnoses_instead_of_panicking() {
+        let machine = Machine::new(1);
+        let _g = machine.cpu(0).enter();
+        let lock = SplLock::at_level(SplLevel::SplVm);
+        // Acquiring at spl0 violates the one-level rule: diagnosed, not
+        // panicked, and the lock is not held.
+        let err = lock.lock_result().unwrap_err();
+        assert_eq!(err.required, SplLevel::SplVm);
+        assert_eq!(err.actual, SplLevel::Spl0);
+        assert!(err.to_string().contains("inconsistent interrupt protection"));
+        // Recovery: retry at the established level succeeds.
+        let t = spl_raise(SplLevel::SplVm);
+        assert!(lock.lock_result().is_ok());
+        lock.unlock();
+        spl_restore(t);
     }
 
     #[test]

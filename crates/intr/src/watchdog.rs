@@ -27,6 +27,62 @@ impl fmt::Display for DeadlockDetected {
 
 impl std::error::Error for DeadlockDetected {}
 
+impl DeadlockDetected {
+    /// Escalate into a [`DeadlockReport`] (see [`escalate`]).
+    pub fn escalate(self) -> DeadlockReport {
+        escalate(self)
+    }
+}
+
+/// The watchdog's escalation artifact: what was detected, plus whatever
+/// diagnostic state the build can capture at the moment of detection.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// How long the watchdog waited before giving up.
+    pub waited: Duration,
+    /// Human-readable diagnostic dump.
+    pub report: String,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.report)
+    }
+}
+
+/// Escalate a detected deadlock into a diagnostic dump instead of a
+/// bare error: the recovery discipline is *diagnose, never hang*, and a
+/// diagnosis is only useful if it says what the system was doing.
+///
+/// With the `obs` feature the dump embeds the lockstat capture at the
+/// instant of detection — hottest locks, lock-order cycles, trace
+/// totals — which is precisely the state a kernel debugger would want
+/// first. Without it, the dump says what was detected and how to get
+/// the richer capture.
+pub fn escalate(err: DeadlockDetected) -> DeadlockReport {
+    let mut report = format!("WATCHDOG: {err}\n");
+    #[cfg(feature = "obs")]
+    {
+        let stat = machk_obs::Lockstat::collect();
+        if stat.cycles.is_empty() {
+            report.push_str("no lock-order cycles on record; lockstat at detection:\n");
+        } else {
+            report.push_str("lock-order cycles on record (likely culprit first):\n");
+            for c in &stat.cycles {
+                report.push_str(&machk_obs::order::render_cycle(c));
+                report.push('\n');
+            }
+        }
+        report.push_str(&stat.render_text(5, false));
+    }
+    #[cfg(not(feature = "obs"))]
+    report.push_str("(build with the `obs` feature for a lockstat dump at detection)\n");
+    DeadlockReport {
+        waited: err.waited,
+        report,
+    }
+}
+
 /// A point in time after which spinning code must give up.
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
@@ -120,6 +176,17 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
+
+    #[test]
+    fn escalation_carries_diagnosis() {
+        let err = DeadlockDetected {
+            waited: Duration::from_millis(7),
+        };
+        let report = err.escalate();
+        assert_eq!(report.waited, Duration::from_millis(7));
+        assert!(report.report.contains("WATCHDOG"));
+        assert!(report.report.contains("deadlock detected"));
+    }
 
     #[test]
     fn deadline_expires() {

@@ -73,6 +73,14 @@ pub enum RpcError {
     Port(PortError),
     /// No handler registered for this (object type, operation).
     NoSuchOperation,
+    /// The dispatch table routed the message to a handler registered
+    /// for a different concrete type — a stub/registration bug,
+    /// reported to the caller instead of panicking the "kernel".
+    WrongObjectType,
+    /// The operation executed, but its reply message was lost in
+    /// transport. The operation's side effects (and its reference
+    /// disposition) stand; only the result never reached the caller.
+    ReplyDropped,
     /// The operation executed and failed.
     Operation(KernError),
 }
@@ -88,6 +96,8 @@ impl core::fmt::Display for RpcError {
         match self {
             RpcError::Port(e) => write!(f, "rpc transport: {e}"),
             RpcError::NoSuchOperation => f.write_str("no such operation"),
+            RpcError::WrongObjectType => f.write_str("dispatch table routed to wrong type"),
+            RpcError::ReplyDropped => f.write_str("reply message dropped in transport"),
             RpcError::Operation(e) => write!(f, "operation failed: {e}"),
         }
     }
@@ -145,9 +155,11 @@ impl RpcStats {
 }
 
 /// A handler: receives the (type-erased) object and the request, returns
-/// the reply.
+/// the reply. Errors are already lifted to [`RpcError`] so a routing
+/// mistake (wrong concrete type) surfaces as a typed error rather than
+/// a panic inside the stub.
 type Handler =
-    Arc<dyn Fn(&ObjRef<dyn Refable>, &Message) -> Result<Message, KernError> + Send + Sync>;
+    Arc<dyn Fn(&ObjRef<dyn Refable>, &Message) -> Result<Message, RpcError> + Send + Sync>;
 
 /// The dispatch table: Mach's MiG-generated kernel server, as data.
 ///
@@ -200,8 +212,8 @@ impl DispatchTable {
         let handler: Handler = Arc::new(move |obj, msg| {
             let typed = obj
                 .downcast_ref::<T>()
-                .expect("dispatch table routed to wrong type");
-            f(typed, msg)
+                .ok_or(RpcError::WrongObjectType)?;
+            f(typed, msg).map_err(RpcError::Operation)
         });
         self.handlers
             .insert((core::any::TypeId::of::<T>(), op), handler);
@@ -228,6 +240,14 @@ impl DispatchTable {
         semantics: RefSemantics,
         stats: &RpcStats,
     ) -> Result<Message, RpcError> {
+        // Fault hook: the port died between the caller's send and our
+        // translation. Injected *before* the translation counter so no
+        // reference was obtained and the ledger stays balanced.
+        #[cfg(feature = "fault")]
+        if machk_fault::fire(machk_fault::FaultSite::RpcDeadPort) {
+            return Err(RpcError::Port(PortError::Dead));
+        }
+
         // Step 2: port → object translation obtains a reference.
         let obj = port.kernel_object()?;
         stats.translations.fetch_add(1, Ordering::Relaxed);
@@ -266,10 +286,20 @@ impl DispatchTable {
         }
         drop(obj);
 
+        // Fault hook: the reply is lost on the way back. The operation
+        // ran and the step-4 disposition above already happened — as
+        // with a real dropped reply, only the *caller's view* is lost,
+        // so the reference ledger is untouched and still balances.
+        #[cfg(feature = "fault")]
+        if result.is_ok() && machk_fault::fire(machk_fault::FaultSite::RpcDropReply) {
+            drop(request);
+            return Err(RpcError::ReplyDropped);
+        }
+
         // Step 5: reply returns the result; dropping `request` here
         // releases any references the request message carried.
         drop(request);
-        result.map_err(RpcError::Operation)
+        result
     }
 }
 
@@ -367,6 +397,22 @@ mod tests {
             .unwrap_err();
         assert_eq!(e, RpcError::NoSuchOperation);
         assert!(stats.balanced());
+    }
+
+    #[test]
+    fn wrong_type_routing_is_typed_error_not_panic() {
+        // The lookup keys on the object's concrete type, so normal
+        // dispatch can't misroute; drive the stub directly to prove the
+        // defensive path reports instead of panicking.
+        let t = table();
+        let h = t
+            .handlers
+            .get(&(core::any::TypeId::of::<Counter>(), OP_GET))
+            .unwrap();
+        let other = Kobj::create(String::from("not a counter")).into_dyn();
+        let e = h(&other, &Message::new(OP_GET)).unwrap_err();
+        assert_eq!(e, RpcError::WrongObjectType);
+        assert!(e.to_string().contains("wrong type"));
     }
 
     #[test]

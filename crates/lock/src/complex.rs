@@ -10,10 +10,12 @@
 //! release the interlock and retry with backoff.
 
 use core::fmt;
+use core::sync::atomic::{AtomicBool, Ordering};
 use std::thread::ThreadId;
+use std::time::{Duration, Instant};
 
-use machk_event::{assert_wait, thread_block, thread_wakeup, Event};
-use machk_sync::{SimpleLocked, SimpleLockedGuard};
+use machk_event::{assert_wait, thread_block, thread_block_timeout, thread_wakeup, Event};
+use machk_sync::{LockTimeout, SimpleLocked, SimpleLockedGuard};
 
 /// Error returned by a failed read→write upgrade.
 ///
@@ -102,6 +104,12 @@ impl LockState {
 /// ```
 pub struct ComplexLock {
     state: SimpleLocked<LockState>,
+    /// Set when a guard was dropped during a panic: the protected state
+    /// may be mid-update. Unlike `std::sync::Mutex` the lock stays
+    /// usable — a kernel lock that wedges on panic converts one failure
+    /// into a system hang — but the flag makes the suspect state
+    /// *diagnosable* ([`ComplexLock::is_poisoned`]).
+    poisoned: AtomicBool,
     /// Lockstat registration and hold-time state (`obs` feature only).
     #[cfg(feature = "obs")]
     obs: ComplexObs,
@@ -151,9 +159,27 @@ impl ComplexLock {
         let _ = name;
         ComplexLock {
             state: SimpleLocked::new(LockState::new(can_sleep)),
+            poisoned: AtomicBool::new(false),
             #[cfg(feature = "obs")]
             obs: ComplexObs::new(name),
         }
+    }
+
+    /// Whether a holder panicked while this lock was held (a guard was
+    /// dropped during unwinding). The protected invariants may not
+    /// hold; callers deciding to proceed anyway should first
+    /// re-validate and then [`ComplexLock::clear_poison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Declare the protected state repaired / re-validated.
+    pub fn clear_poison(&self) {
+        self.poisoned.store(false, Ordering::Release);
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
     }
 
     fn event(&self) -> Event {
@@ -178,6 +204,34 @@ impl ComplexLock {
         } else {
             drop(s);
             // Spin with linear backoff before re-taking the interlock.
+            *spins = (*spins).saturating_add(1).min(64);
+            for _ in 0..*spins {
+                core::hint::spin_loop();
+            }
+        }
+        self.state.lock()
+    }
+
+    /// Bounded form of [`ComplexLock::wait`]: sleeps at most the time
+    /// remaining until `start + limit` (spin mode is bounded by its
+    /// caller re-checking the clock each round).
+    fn wait_deadline<'a>(
+        &'a self,
+        mut s: SimpleLockedGuard<'a, LockState>,
+        spins: &mut u32,
+        start: Instant,
+        limit: Duration,
+    ) -> SimpleLockedGuard<'a, LockState> {
+        if s.can_sleep {
+            s.waiting = true;
+            assert_wait(self.event(), false);
+            drop(s);
+            let remaining = limit
+                .saturating_sub(start.elapsed())
+                .max(Duration::from_millis(1));
+            thread_block_timeout(remaining);
+        } else {
+            drop(s);
             *spins = (*spins).saturating_add(1).min(64);
             for _ in 0..*spins {
                 core::hint::spin_loop();
@@ -347,6 +401,89 @@ impl ComplexLock {
         let _ = waited;
     }
 
+    /// Bounded [`ComplexLock::write_raw`]: give up (with the lock fully
+    /// backed out) if it cannot be acquired within `limit`.
+    ///
+    /// The backout is the delicate part and the reason this lives here
+    /// rather than in callers: once the want-write bit is claimed the
+    /// pending writer is excluding new readers, so a timeout in the
+    /// reader-drain phase must *clear the claim and wake the waiters it
+    /// was blocking* before reporting failure — otherwise the diagnosed
+    /// deadlock would be replaced by a real one.
+    pub fn write_raw_with_deadline(&self, limit: Duration) -> Result<(), LockTimeout> {
+        let start = Instant::now();
+        let mut s = self.state.lock();
+        if Self::is_recursive_holder(&s) {
+            assert!(
+                s.want_write && !s.want_upgrade,
+                "recursive write acquisition after downgrade to read is \
+                 prohibited (paper section 4)"
+            );
+            s.recursion_depth += 1;
+            return Ok(());
+        }
+        let mut spins = 0;
+        while s.want_write {
+            if start.elapsed() >= limit {
+                return Err(LockTimeout {
+                    waited: start.elapsed(),
+                });
+            }
+            s = self.wait_deadline(s, &mut spins, start, limit);
+        }
+        s.want_write = true;
+        while s.read_count > 0 || s.want_upgrade {
+            if start.elapsed() >= limit {
+                s.want_write = false;
+                self.wake_waiters(&mut s);
+                return Err(LockTimeout {
+                    waited: start.elapsed(),
+                });
+            }
+            s = self.wait_deadline(s, &mut spins, start, limit);
+        }
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_acquired(
+            machk_obs::ComplexOp::Write,
+            machk_obs::EventKind::ComplexWrite,
+            machk_obs::now_ns(),
+            true,
+        );
+        Ok(())
+    }
+
+    /// Bounded [`ComplexLock::read_raw`]: give up if the pending
+    /// writer/upgrader does not clear within `limit`. Nothing is
+    /// claimed while waiting, so no backout is needed.
+    pub fn read_raw_with_deadline(&self, limit: Duration) -> Result<(), LockTimeout> {
+        let start = Instant::now();
+        let mut s = self.state.lock();
+        if Self::is_recursive_holder(&s) {
+            s.read_count += 1;
+            return Ok(());
+        }
+        let mut spins = 0;
+        while s.want_write || s.want_upgrade {
+            if start.elapsed() >= limit {
+                return Err(LockTimeout {
+                    waited: start.elapsed(),
+                });
+            }
+            s = self.wait_deadline(s, &mut spins, start, limit);
+        }
+        s.read_count += 1;
+        drop(s);
+        #[cfg(feature = "obs")]
+        self.obs_acquired(
+            machk_obs::ComplexOp::Read,
+            machk_obs::EventKind::ComplexRead,
+            machk_obs::now_ns(),
+            true,
+        );
+        Ok(())
+    }
+
     /// Release however held (`lock_done`).
     ///
     /// "A lock can be held either by a single writer or by one or more
@@ -392,7 +529,15 @@ impl ComplexLock {
              (paper section 4)"
         );
         s.read_count -= 1;
-        if s.want_upgrade {
+        // Fault hook: lose the upgrade race even with no competitor —
+        // semantically identical to a pending upgrade, so the caller's
+        // §7.1 recovery logic (restart from scratch) is exercised on
+        // demand.
+        #[cfg(feature = "fault")]
+        let forced_fail = machk_fault::fire(machk_fault::FaultSite::ComplexUpgradeFail);
+        #[cfg(not(feature = "fault"))]
+        let forced_fail = false;
+        if s.want_upgrade || forced_fail {
             // Another upgrade pending: we lose. Our read lock is gone; if
             // that makes the reader count zero the pending upgrader may
             // now proceed.
@@ -643,6 +788,26 @@ impl ComplexLock {
         }
     }
 
+    /// Acquire for reading with a deadline (see
+    /// [`ComplexLock::read_raw_with_deadline`]).
+    pub fn read_with_deadline(&self, limit: Duration) -> Result<ReadGuard<'_>, LockTimeout> {
+        self.read_raw_with_deadline(limit)?;
+        Ok(ReadGuard {
+            lock: self,
+            _not_send: core::marker::PhantomData,
+        })
+    }
+
+    /// Acquire for writing with a deadline (see
+    /// [`ComplexLock::write_raw_with_deadline`]).
+    pub fn write_with_deadline(&self, limit: Duration) -> Result<WriteGuard<'_>, LockTimeout> {
+        self.write_raw_with_deadline(limit)?;
+        Ok(WriteGuard {
+            lock: self,
+            _not_send: core::marker::PhantomData,
+        })
+    }
+
     /// Single attempt to acquire for reading.
     pub fn try_read(&self) -> Option<ReadGuard<'_>> {
         self.try_read_raw().then(|| ReadGuard {
@@ -728,6 +893,12 @@ impl<'a> ReadGuard<'a> {
 
 impl Drop for ReadGuard<'_> {
     fn drop(&mut self) {
+        // Release even when unwinding — a wedged lock would convert the
+        // panic into a hang for every other thread — but mark the
+        // protected state suspect first.
+        if std::thread::panicking() {
+            self.lock.poison();
+        }
         self.lock.done_raw();
     }
 }
@@ -761,6 +932,10 @@ impl<'a> WriteGuard<'a> {
 
 impl Drop for WriteGuard<'_> {
     fn drop(&mut self) {
+        // See `ReadGuard::drop`: release, but poison, under panic.
+        if std::thread::panicking() {
+            self.lock.poison();
+        }
         self.lock.done_raw();
     }
 }
@@ -1046,6 +1221,96 @@ mod tests {
     fn done_on_unheld_lock_panics() {
         let lock = ComplexLock::new(true);
         lock.done_raw();
+    }
+
+    #[test]
+    fn panic_while_write_held_poisons_but_releases() {
+        let lock = ComplexLock::new(true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _w = lock.write();
+            panic!("holder dies mid-update");
+        }));
+        assert!(result.is_err());
+        // The lock must be released (no wedge) and flagged poisoned.
+        assert_eq!(lock.how_held(), HowHeld::Unheld);
+        assert!(lock.is_poisoned());
+        // Other threads can still take it, observe the poison, and
+        // declare the state repaired.
+        let w = lock.write();
+        assert!(lock.is_poisoned());
+        drop(w);
+        lock.clear_poison();
+        assert!(!lock.is_poisoned());
+    }
+
+    #[test]
+    fn panic_while_read_held_poisons_but_releases() {
+        let lock = ComplexLock::new(true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _r = lock.read();
+            panic!("reader dies");
+        }));
+        assert!(result.is_err());
+        assert_eq!(lock.how_held(), HowHeld::Unheld);
+        assert!(lock.is_poisoned());
+    }
+
+    #[test]
+    fn clean_drops_do_not_poison() {
+        let lock = ComplexLock::new(true);
+        drop(lock.write());
+        drop(lock.read());
+        assert!(!lock.is_poisoned());
+    }
+
+    #[test]
+    fn write_deadline_times_out_and_backs_out_cleanly() {
+        let lock = ComplexLock::new(true);
+        let r = lock.read();
+        // A bounded writer must give up — and having given up, must not
+        // leave its want-write claim behind: new readers still enter.
+        let err = lock
+            .write_with_deadline(Duration::from_millis(20))
+            .err()
+            .expect("reader-held lock must time the writer out");
+        assert!(err.waited >= Duration::from_millis(20));
+        let r2 = lock.try_read().expect("failed writer must not block readers");
+        drop((r, r2));
+        // With the lock free the bounded form acquires normally.
+        let w = lock
+            .write_with_deadline(Duration::from_millis(100))
+            .expect("free lock");
+        assert_eq!(lock.how_held(), HowHeld::Write);
+        drop(w);
+    }
+
+    #[test]
+    fn read_deadline_times_out_under_writer() {
+        let lock = ComplexLock::new(true);
+        let w = lock.write();
+        assert!(lock.read_with_deadline(Duration::from_millis(20)).is_err());
+        drop(w);
+        let r = lock
+            .read_with_deadline(Duration::from_millis(100))
+            .expect("free lock");
+        drop(r);
+    }
+
+    #[test]
+    fn deadline_write_succeeds_when_reader_leaves_in_time() {
+        let lock = ComplexLock::new(true);
+        std::thread::scope(|s| {
+            let r = lock.read();
+            s.spawn(|| {
+                let w = lock
+                    .write_with_deadline(Duration::from_secs(10))
+                    .expect("reader releases well within the deadline");
+                drop(w);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            drop(r);
+        });
+        assert_eq!(lock.how_held(), HowHeld::Unheld);
     }
 
     #[test]

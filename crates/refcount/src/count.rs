@@ -33,21 +33,38 @@ impl LockedRefCount {
     }
 
     /// Increment. Caller holds the owning lock.
+    ///
+    /// Saturates at `u32::MAX` instead of wrapping: a wrapped count
+    /// would pass through zero and hand out a bogus "final" release
+    /// with live references outstanding (a use-after-free factory). A
+    /// pegged count makes the object immortal instead — see
+    /// [`LockedRefCount::is_pegged`].
     pub fn take(&self) {
         let old = self.count.load(Ordering::Relaxed);
         assert!(old > 0, "reference cloned from a dead count");
-        self.count.store(old + 1, Ordering::Relaxed);
+        self.count.store(old.saturating_add(1), Ordering::Relaxed);
     }
 
     /// Decrement; returns `true` when the count reaches zero. Caller
     /// holds the owning lock (and must destroy the structure after
     /// releasing it, if `true`).
+    ///
+    /// A pegged (saturated) count absorbs releases without movement and
+    /// never reports final.
     #[must_use]
     pub fn release(&self) -> bool {
         let old = self.count.load(Ordering::Relaxed);
         assert!(old > 0, "reference over-released");
+        if old == u32::MAX {
+            return false; // pegged: immortal
+        }
         self.count.store(old - 1, Ordering::Relaxed);
         old == 1
+    }
+
+    /// Whether the count has saturated (the object is immortal).
+    pub fn is_pegged(&self) -> bool {
+        self.count.load(Ordering::Relaxed) == u32::MAX
     }
 
     /// Current value (unlocked read; diagnostics).
@@ -166,6 +183,23 @@ mod tests {
         assert!(!c.release());
         assert!(c.release());
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn locked_count_pegs_at_max_instead_of_wrapping() {
+        let c = LockedRefCount::new(u32::MAX - 1);
+        assert!(!c.is_pegged());
+        c.take();
+        assert!(c.is_pegged());
+        // Past the ceiling: absorbed, not wrapped (a wrap would reach 0
+        // and the next release would be a bogus final).
+        c.take();
+        c.take();
+        assert_eq!(c.get(), u32::MAX);
+        for _ in 0..16 {
+            assert!(!c.release(), "pegged count reported final");
+        }
+        assert!(c.is_pegged(), "pegged count is immortal");
     }
 
     #[test]

@@ -42,6 +42,66 @@ proptest! {
         prop_assert_eq!(count.get(), 0);
     }
 
+    /// The drain-time leak audit reports the exact model count after an
+    /// arbitrary op sequence, no matter how the references ended up
+    /// striped across shards — and auditing is observationally inert:
+    /// the remaining releases behave exactly as without the audit,
+    /// including reporting final exactly once.
+    #[test]
+    fn drain_audit_matches_model(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let count = ShardedRefCount::new();
+        let mut model = 1u64;
+        for take in ops {
+            if take {
+                count.take();
+                model += 1;
+            } else if model > 1 {
+                // Keep the creation reference so the count stays alive
+                // for the audit.
+                model -= 1;
+                prop_assert!(!count.release());
+            }
+        }
+        let audit = count.drain_audit();
+        prop_assert_eq!(audit.total, model, "audit disagrees with ledger");
+        prop_assert!(!audit.pegged);
+        // After folding, everything sits in base; nothing was lost.
+        prop_assert_eq!(audit.total, u64::from(count.get()));
+        while model > 0 {
+            model -= 1;
+            prop_assert_eq!(count.release(), model == 0, "audit perturbed final detection");
+        }
+        prop_assert_eq!(count.drain_audit().total, 0);
+    }
+
+    /// Concurrent audits race takers/releasers without ever double
+    /// counting: with the creation reference held throughout, no audit
+    /// may observe zero, and the post-quiescence audit is exact.
+    #[test]
+    fn concurrent_audit_never_observes_zero(churn in 1u32..200) {
+        let count = ShardedRefCount::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let count = &count;
+                s.spawn(move || {
+                    for _ in 0..churn {
+                        count.take();
+                        assert!(!count.release());
+                    }
+                });
+            }
+            let count = &count;
+            s.spawn(move || {
+                for _ in 0..32 {
+                    let audit = count.drain_audit();
+                    assert!(audit.total >= 1, "audit lost the creation reference");
+                }
+            });
+        });
+        prop_assert_eq!(count.drain_audit().total, 1);
+        prop_assert!(count.release());
+    }
+
     /// Concurrently: hand one reference to each of several threads, let
     /// every thread churn take/release pairs, then drop all references
     /// (including the creator's) racily. Exactly one release across all

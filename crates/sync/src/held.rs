@@ -101,7 +101,6 @@ pub(crate) fn trace_release(lock_id: u32) {
 ///
 /// Collisions are possible (it is a hash) and only weaken the debug check,
 /// never correctness.
-#[cfg(debug_assertions)]
 #[inline]
 pub(crate) fn thread_tag() -> u32 {
     use std::hash::{Hash, Hasher};

@@ -87,6 +87,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod deadline;
 pub mod held;
 pub mod policy;
 pub mod queued;
@@ -96,6 +97,7 @@ pub mod simple;
 pub mod simple_locked;
 pub mod stats;
 
+pub use deadline::{JitterBackoff, LockTimeout};
 pub use policy::{AdaptiveSpin, Backoff, SpinPolicy};
 pub use raw::{RawSimpleLock, SimpleGuard};
 pub use seq::{SeqCell, SeqWriter};

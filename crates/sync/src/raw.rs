@@ -9,7 +9,9 @@
 
 use core::fmt;
 use core::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
+use crate::deadline::{JitterBackoff, LockTimeout};
 use crate::held;
 use crate::policy::{self, AdaptiveSpin, Backoff, SpinPolicy};
 use crate::queued::QueuedState;
@@ -194,6 +196,34 @@ impl RawSimpleLock {
         held::on_acquire();
     }
 
+    /// Acquire with a deadline: spin with decorrelated-jitter backoff
+    /// (see [`crate::deadline`]) until the lock is obtained or `limit`
+    /// elapses, reporting [`LockTimeout`] instead of hanging.
+    ///
+    /// This is the recovery-hardened acquisition form: where
+    /// `simple_lock` trusts the holder to release promptly, this bounds
+    /// that trust and lets the caller back out, retry, or escalate to
+    /// the `machk-intr` watchdog. The backoff desynchronizes waiters so
+    /// a storm of bounded acquirers does not reconverge on the lock
+    /// word in phase.
+    pub fn lock_with_deadline(&self, limit: Duration) -> Result<SimpleGuard<'_>, LockTimeout> {
+        if self.try_lock_raw() {
+            return Ok(self.guard_for_held());
+        }
+        let start = Instant::now();
+        let mut backoff = JitterBackoff::new();
+        loop {
+            backoff.pause();
+            if self.try_lock_raw() {
+                return Ok(self.guard_for_held());
+            }
+            let waited = start.elapsed();
+            if waited >= limit {
+                return Err(LockTimeout { waited });
+            }
+        }
+    }
+
     /// Policy dispatch for a blocking acquisition; returns the failed /
     /// waited round count for the contention statistics.
     #[inline]
@@ -210,6 +240,15 @@ impl RawSimpleLock {
     /// Debug builds panic if the calling thread is not the holder.
     #[inline]
     pub fn unlock_raw(&self) {
+        // Fault hook: stretch the hold window by a jittered spin before
+        // the word is actually cleared (the lock is still ours here).
+        #[cfg(feature = "fault")]
+        if let Some(spins) = machk_fault::fire_jitter(machk_fault::FaultSite::SimpleReleaseDelay, 4096)
+        {
+            for _ in 0..spins {
+                core::hint::spin_loop();
+            }
+        }
         self.debug_clear_holder();
         held::on_release();
         // Hold time must be read while the lock is still held, before
@@ -245,11 +284,19 @@ impl RawSimpleLock {
     /// Guard-free form of [`RawSimpleLock::try_lock`].
     #[inline]
     pub fn try_lock_raw(&self) -> bool {
-        let acquired = match self.policy {
-            SpinPolicy::Ticket => self.queued.ticket_try(&self.word),
-            SpinPolicy::Mcs => self.queued.mcs_try(&self.word),
-            _ => policy::try_acquire(&self.word),
-        };
+        // Fault hook: force the attempt to fail without touching the
+        // word (models a lost CAS / stale view); takes the ordinary
+        // failure path below so obs accounting stays truthful.
+        #[cfg(feature = "fault")]
+        let forced_fail = machk_fault::fire(machk_fault::FaultSite::SimpleTryFail);
+        #[cfg(not(feature = "fault"))]
+        let forced_fail = false;
+        let acquired = !forced_fail
+            && match self.policy {
+                SpinPolicy::Ticket => self.queued.ticket_try(&self.word),
+                SpinPolicy::Mcs => self.queued.mcs_try(&self.word),
+                _ => policy::try_acquire(&self.word),
+            };
         if acquired {
             #[cfg(feature = "obs")]
             {
@@ -526,6 +573,41 @@ mod tests {
     fn init_resets_unlocked_lock() {
         let lock = RawSimpleLock::new();
         lock.init();
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn deadline_times_out_on_held_lock_and_acquires_free_one() {
+        let lock = RawSimpleLock::new();
+        let g = lock.lock();
+        let err = lock
+            .lock_with_deadline(std::time::Duration::from_millis(10))
+            .err()
+            .expect("held lock must time out");
+        assert!(err.waited >= std::time::Duration::from_millis(10));
+        g.unlock();
+        let g2 = lock
+            .lock_with_deadline(std::time::Duration::from_millis(10))
+            .expect("free lock must acquire");
+        assert!(lock.is_locked());
+        drop(g2);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn deadline_succeeds_once_holder_releases() {
+        let lock = RawSimpleLock::new();
+        std::thread::scope(|s| {
+            let g = lock.lock();
+            s.spawn(|| {
+                let g2 = lock
+                    .lock_with_deadline(std::time::Duration::from_secs(5))
+                    .expect("release within deadline must succeed");
+                drop(g2);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(g);
+        });
         assert!(!lock.is_locked());
     }
 
