@@ -7,9 +7,10 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [E1 E7 E10 ...]
+//! experiments [--quick] [--artifacts DIR] [E1 E7 E10 ...]
 //! experiments lockstat [--quick] [--json]
 //! experiments e17 --seeds N
+//! experiments e18 [--quick] [--sim-seed N]
 //! ```
 //!
 //! `--quick` shrinks iteration counts (used by CI); naming experiment
@@ -19,6 +20,14 @@
 //! `--seeds N` overrides E17's seed count (each seed drives two
 //! determinism-probe runs plus four chaos scenarios). Requires a build
 //! with `--features fault`.
+//!
+//! `--artifacts DIR` additionally writes machine-readable summaries for
+//! the campaign experiments (`BENCH_E17.json`, `BENCH_E18.json`) into
+//! `DIR` — the files CI uploads as run artifacts.
+//!
+//! E18 (schedule exploration on simulated hosts) requires a build with
+//! `--features sim`; `--sim-seed N` overrides its base scheduler seed
+//! (CI runs a small fixed matrix of seeds).
 //!
 //! `lockstat` runs the E16 workload and prints only the lockstat
 //! report (text, or JSON with `--json`) — the `lockstat(1M)`-style
@@ -41,12 +50,28 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
 
+    let artifacts: Option<String> = args
+        .iter()
+        .position(|a| a == "--artifacts")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let sim_seed: Option<u64> = args
+        .iter()
+        .position(|a| a == "--sim-seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
     let wanted: Vec<String> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the value that belongs to --seeds.
-            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--seeds")
+            // Skip flags and the values that belong to value-taking ones.
+            !a.starts_with("--")
+                && (*i == 0
+                    || (args[i - 1] != "--seeds"
+                        && args[i - 1] != "--artifacts"
+                        && args[i - 1] != "--sim-seed"))
         })
         .map(|(_, a)| a.to_uppercase())
         .collect();
@@ -70,8 +95,19 @@ fn main() {
         }
         println!("\n################ {id}: {title}");
         let started = std::time::Instant::now();
-        let table = match (id, seeds) {
-            ("E17", Some(n)) => experiments::e17_chaos::run_with_seeds(n),
+        let table = match id {
+            // The campaign experiments can also emit JSON artifacts.
+            "E17" => {
+                let n = seeds.unwrap_or(if quick { 5 } else { 200 });
+                let (table, json) = experiments::e17_chaos::run_report(n);
+                write_artifact(artifacts.as_deref(), "BENCH_E17.json", &json);
+                table
+            }
+            "E18" => {
+                let (table, json) = experiments::e18_sim::run_report_seeded(quick, sim_seed);
+                write_artifact(artifacts.as_deref(), "BENCH_E18.json", &json);
+                table
+            }
             _ => run(quick),
         };
         print!("{table}");
@@ -79,9 +115,19 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched {wanted:?}; known ids are E1..E16 and `lockstat`");
+        eprintln!("no experiment matched {wanted:?}; known ids are E1..E18 and `lockstat`");
         std::process::exit(2);
     }
+}
+
+/// Write one experiment's JSON summary into the `--artifacts` directory
+/// (no-op when the flag is absent).
+fn write_artifact(dir: Option<&str>, name: &str, json: &str) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create artifacts dir");
+    let path = std::path::Path::new(dir).join(name);
+    std::fs::write(&path, format!("{json}\n")).expect("write artifact");
+    println!("  [artifact: {}]", path.display());
 }
 
 /// The `lockstat` subcommand: drive the E16 workload, print the report.

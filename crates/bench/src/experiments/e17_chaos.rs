@@ -444,8 +444,8 @@ mod armed {
         rendered
     }
 
-    /// Run the full suite over `seeds` seeds.
-    pub fn run_with_seeds(seeds: u64) -> String {
+    /// Run the scenario suite over `seeds` seeds and return the totals.
+    fn campaign(seeds: u64) -> Totals {
         let mut totals = Totals::default();
         for seed in 0..seeds {
             // Claim 3: replayable — same seed, byte-identical trace.
@@ -469,6 +469,32 @@ mod armed {
             totals.wakeups_recovered > 0,
             "no lost wakeup was ever recovered — blocking path unexercised"
         );
+        totals
+    }
+
+    /// The machine-readable artifact (`BENCH_E17.json`).
+    fn render_json(seeds: u64, totals: &Totals) -> String {
+        format!(
+            "{{\"experiment\":\"E17\",\"seeds\":{},\"schedules\":{},\"faults_fired\":{},\
+             \"deadlocks_diagnosed\":{},\"wakeups_recovered\":{},\"upgrades_refused\":{},\
+             \"spl_diagnosed\":{},\"replies_dropped\":{},\"dead_ports\":{},\"hangs\":0}}",
+            seeds,
+            totals.schedules,
+            totals.faults_fired,
+            totals.deadlocks_diagnosed,
+            totals.wakeups_recovered,
+            totals.upgrades_refused,
+            totals.spl_diagnosed,
+            totals.replies_dropped,
+            totals.dead_ports,
+        )
+    }
+
+    /// Run the full suite over `seeds` seeds and return the rendered
+    /// table plus the JSON artifact body.
+    pub fn run_report(seeds: u64) -> (String, String) {
+        let totals = campaign(seeds);
+        let json = render_json(seeds, &totals);
 
         let mut t = Table::new(
             "E17: seeded chaos — recovery under injected faults",
@@ -498,12 +524,17 @@ mod armed {
         t.row(&["scenarios hung".into(), "0".into()]);
         t.note("every seed's probe trace was byte-identical across two runs");
         t.note("every ledger balanced; saturated counts pegged, never wrapped");
-        t.render()
+        (t.render(), json)
+    }
+
+    /// Table-only entry point (the binary's `--seeds N` path).
+    pub fn run_with_seeds(seeds: u64) -> String {
+        run_report(seeds).0
     }
 }
 
 #[cfg(feature = "fault")]
-pub use armed::run_with_seeds;
+pub use armed::{run_report, run_with_seeds};
 
 /// Run E17 with the default seed counts (quick: 5 for CI smoke; full:
 /// 200 → 1200 schedules, past the 1000-schedule acceptance floor).
@@ -529,4 +560,13 @@ pub fn run(_quick: bool) -> String {
 #[cfg(not(feature = "fault"))]
 pub fn run_with_seeds(_seeds: u64) -> String {
     run(false)
+}
+
+/// Report-producing entry point for the disabled build.
+#[cfg(not(feature = "fault"))]
+pub fn run_report(_seeds: u64) -> (String, String) {
+    (
+        run(false),
+        "{\"experiment\":\"E17\",\"enabled\":false}".to_string(),
+    )
 }

@@ -22,6 +22,7 @@ pub mod e14_shootdown;
 pub mod e15_usage_timing;
 pub mod e16_lockstat;
 pub mod e17_chaos;
+pub mod e18_sim;
 
 /// One experiment entry: `(id, title, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
@@ -109,6 +110,11 @@ pub fn all() -> Vec<Experiment> {
             "E17",
             "Seeded chaos: fault injection vs recovery across every layer (fault layer)",
             e17_chaos::run,
+        ),
+        (
+            "E18",
+            "Deterministic schedule exploration on simulated N-core hosts (sim layer)",
+            e18_sim::run,
         ),
     ]
 }

@@ -10,7 +10,8 @@
 
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::Thread;
+
+use machk_sync::host::{self, ThreadToken};
 
 /// Why a blocked thread resumed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -70,15 +71,16 @@ fn generation(word: u64) -> u64 {
 /// [`ThreadHandle`] for `clear_wait`-style thread-based wakeups.
 pub struct WaitRecord {
     word: AtomicU64,
-    /// Handle used to unpark the owning thread.
-    thread: Thread,
+    /// Host token used to unpark the owning thread (routes to the
+    /// simulator's scheduler when the owner is a simulated thread).
+    thread: ThreadToken,
 }
 
 impl WaitRecord {
     pub(crate) fn for_current_thread() -> WaitRecord {
         WaitRecord {
             word: AtomicU64::new(STATE_RUNNING),
-            thread: std::thread::current(),
+            thread: ThreadToken::current(),
         }
     }
 
@@ -107,7 +109,8 @@ impl WaitRecord {
     ///
     /// Called only by the owning thread, after `assert_wait`.
     pub(crate) fn block(&self, timeout: Option<std::time::Duration>) -> WaitResult {
-        let start = std::time::Instant::now();
+        // Host time: bounded waits expire on the virtual clock under sim.
+        let start = host::now();
         loop {
             let word = self.word.load(Ordering::Acquire);
             match state(word) {
@@ -121,9 +124,10 @@ impl WaitRecord {
                 }
                 STATE_WAITING => {
                     match timeout {
-                        None => std::thread::park(),
+                        None => host::park(),
                         Some(limit) => {
-                            let elapsed = start.elapsed();
+                            let elapsed =
+                                std::time::Duration::from_nanos(host::now().saturating_sub(start));
                             if elapsed >= limit {
                                 // Try to cancel the wait ourselves. A racing
                                 // waker may beat us; then we take its result.
@@ -146,7 +150,7 @@ impl WaitRecord {
                                 // loop and collect the result.
                                 continue;
                             }
-                            std::thread::park_timeout(limit - elapsed);
+                            host::park_timeout(limit - elapsed);
                         }
                     }
                 }
@@ -233,7 +237,6 @@ impl ThreadHandle {
 impl core::fmt::Debug for ThreadHandle {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ThreadHandle")
-            .field("thread", &self.record.thread.id())
             .field("waiting", &self.record.is_waiting())
             .finish()
     }

@@ -74,12 +74,12 @@ impl IntrBarrier {
                 self.failed.store(true, Ordering::Release);
                 return BarrierOutcome::Deadlocked;
             }
-            core::hint::spin_loop();
+            machk_sync::host::spin_hint(machk_sync::host::SpinSite::Generic);
             spins += 1;
             if spins >= 256 {
                 // vCPUs are host threads; on an oversubscribed host the
                 // other participants need CPU time to arrive.
-                std::thread::yield_now();
+                machk_sync::host::yield_now();
                 spins = 0;
             }
         }

@@ -229,11 +229,11 @@ impl SplLock {
                 // Spinning at low spl still takes interrupts — the
                 // property that lets a disciplined system drain barriers.
                 cpu.poll();
-                core::hint::spin_loop();
+                machk_sync::host::spin_hint(machk_sync::host::SpinSite::Generic);
                 spins += 1;
                 if spins >= 256 {
                     // vCPUs are host threads: let a descheduled holder run.
-                    std::thread::yield_now();
+                    machk_sync::host::yield_now();
                     spins = 0;
                 }
             }
@@ -264,10 +264,10 @@ impl SplLock {
             let mut spins = 0u32;
             while !self.lock.try_lock_raw() {
                 cpu.poll();
-                core::hint::spin_loop();
+                machk_sync::host::spin_hint(machk_sync::host::SpinSite::Generic);
                 spins += 1;
                 if spins >= 256 {
-                    std::thread::yield_now();
+                    machk_sync::host::yield_now();
                     spins = 0;
                 }
             }

@@ -8,7 +8,9 @@
 //! escape hatch, which is why the paper's rules matter.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use machk_sync::host;
 
 /// Error reported when a deadline expires while a coordination step is
 /// still incomplete — the simulation's verdict that the configured
@@ -59,8 +61,21 @@ impl fmt::Display for DeadlockReport {
 /// totals — which is precisely the state a kernel debugger would want
 /// first. Without it, the dump says what was detected and how to get
 /// the richer capture.
+///
+/// When the detecting thread runs under a simulated host (`machk-sim`),
+/// the dump also embeds the host's self-description — scheduler seed,
+/// core count, step position, and the schedule trace tail — so the hang
+/// is replayable byte-for-byte from the report alone.
 pub fn escalate(err: DeadlockDetected) -> DeadlockReport {
     let mut report = format!("WATCHDOG: {err}\n");
+    if let Some(sim) = host::describe() {
+        report.push_str("simulated host at detection (replay from this):\n");
+        for line in sim.lines() {
+            report.push_str("  ");
+            report.push_str(line);
+            report.push('\n');
+        }
+    }
     #[cfg(feature = "obs")]
     {
         let stat = machk_obs::Lockstat::collect();
@@ -84,9 +99,12 @@ pub fn escalate(err: DeadlockDetected) -> DeadlockReport {
 }
 
 /// A point in time after which spinning code must give up.
+///
+/// Measured on the host clock, so under `machk-sim` a deadline expires
+/// in virtual time as a deterministic part of the schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
-    start: Instant,
+    start_ns: u64,
     limit: Duration,
 }
 
@@ -94,20 +112,25 @@ impl Deadline {
     /// A deadline `limit` from now.
     pub fn after(limit: Duration) -> Deadline {
         Deadline {
-            start: Instant::now(),
+            start_ns: host::now(),
             limit,
         }
     }
 
+    /// Host time elapsed since the deadline was set.
+    fn elapsed(&self) -> Duration {
+        Duration::from_nanos(host::now().saturating_sub(self.start_ns))
+    }
+
     /// Whether the deadline has passed.
     pub fn expired(&self) -> bool {
-        self.start.elapsed() >= self.limit
+        self.elapsed() >= self.limit
     }
 
     /// The error describing the expiry.
     pub fn to_error(&self) -> DeadlockDetected {
         DeadlockDetected {
-            waited: self.start.elapsed(),
+            waited: self.elapsed(),
         }
     }
 
@@ -118,10 +141,10 @@ impl Deadline {
             if self.expired() {
                 return Err(self.to_error());
             }
-            core::hint::spin_loop();
+            host::spin_hint(host::SpinSite::Generic);
             spins += 1;
             if spins >= 256 {
-                std::thread::yield_now();
+                host::yield_now();
                 spins = 0;
             }
         }
@@ -141,34 +164,40 @@ pub fn run_threads_with_deadline<R: Send + 'static>(
     bodies: Vec<Box<dyn FnOnce() -> R + Send>>,
     limit: Duration,
 ) -> Result<Vec<R>, DeadlockDetected> {
-    use std::sync::mpsc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    // Host threads + host-clock polling instead of an OS channel with a
+    // wall-clock `recv_timeout`: the same watchdog then works unchanged
+    // under `machk-sim`, where the deadline expires in virtual time and
+    // a genuinely stuck schedule is reported (with its replay seed)
+    // instead of hanging the suite.
+    const POLL: Duration = Duration::from_micros(200);
     let deadline = Deadline::after(limit);
-    let (tx, rx) = mpsc::channel();
     let n = bodies.len();
+    let slots: Arc<Mutex<Vec<Option<R>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let done = Arc::new(AtomicUsize::new(0));
     for (i, body) in bodies.into_iter().enumerate() {
-        let tx = tx.clone();
-        std::thread::spawn(move || {
+        let slots = Arc::clone(&slots);
+        let done = Arc::clone(&done);
+        // Dropping the token detaches the thread, as the old spawn did.
+        let _detached = host::spawn(move || {
             let r = body();
-            let _ = tx.send((i, r));
+            // No host scheduling point sits between this lock and its
+            // release, so a simulated thread can never be suspended
+            // while holding it (plain OS mutex: safe on both hosts).
+            slots.lock().unwrap()[i] = Some(r);
+            done.fetch_add(1, Ordering::Release);
         });
     }
-    drop(tx);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let mut done = 0;
-    while done < n {
-        let remaining = deadline
-            .limit
-            .checked_sub(deadline.start.elapsed())
-            .unwrap_or(Duration::ZERO);
-        match rx.recv_timeout(remaining) {
-            Ok((i, r)) => {
-                slots[i] = Some(r);
-                done += 1;
-            }
-            Err(_) => return Err(deadline.to_error()),
+    while done.load(Ordering::Acquire) < n {
+        if deadline.expired() {
+            return Err(deadline.to_error());
         }
+        let remaining = deadline.limit.saturating_sub(deadline.elapsed());
+        host::sleep(POLL.min(remaining.max(Duration::from_nanos(1))));
     }
-    Ok(slots.into_iter().map(|s| s.unwrap()).collect())
+    let mut slots = slots.lock().unwrap();
+    Ok(slots.drain(..).map(|s| s.unwrap()).collect())
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 use core::fmt;
 use core::sync::atomic::{AtomicBool, Ordering};
 use std::thread::ThreadId;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use machk_sync::host;
 
 use machk_event::{assert_wait, thread_block, thread_block_timeout, thread_wakeup, Event};
 use machk_sync::{LockTimeout, SimpleLocked, SimpleLockedGuard};
@@ -203,39 +205,35 @@ impl ComplexLock {
             thread_block();
         } else {
             drop(s);
-            // Spin with linear backoff before re-taking the interlock.
+            // Spin with linear backoff before re-taking the interlock
+            // (one host scheduling point per round).
             *spins = (*spins).saturating_add(1).min(64);
-            for _ in 0..*spins {
-                core::hint::spin_loop();
-            }
+            host::spin_batch(*spins);
         }
         self.state.lock()
     }
 
     /// Bounded form of [`ComplexLock::wait`]: sleeps at most the time
-    /// remaining until `start + limit` (spin mode is bounded by its
-    /// caller re-checking the clock each round).
+    /// remaining until `start_ns + limit` on the host clock (spin mode is
+    /// bounded by its caller re-checking the clock each round).
     fn wait_deadline<'a>(
         &'a self,
         mut s: SimpleLockedGuard<'a, LockState>,
         spins: &mut u32,
-        start: Instant,
+        start_ns: u64,
         limit: Duration,
     ) -> SimpleLockedGuard<'a, LockState> {
         if s.can_sleep {
             s.waiting = true;
             assert_wait(self.event(), false);
             drop(s);
-            let remaining = limit
-                .saturating_sub(start.elapsed())
-                .max(Duration::from_millis(1));
+            let elapsed = Duration::from_nanos(host::now().saturating_sub(start_ns));
+            let remaining = limit.saturating_sub(elapsed).max(Duration::from_millis(1));
             thread_block_timeout(remaining);
         } else {
             drop(s);
             *spins = (*spins).saturating_add(1).min(64);
-            for _ in 0..*spins {
-                core::hint::spin_loop();
-            }
+            host::spin_batch(*spins);
         }
         self.state.lock()
     }
@@ -411,7 +409,8 @@ impl ComplexLock {
     /// was blocking* before reporting failure — otherwise the diagnosed
     /// deadlock would be replaced by a real one.
     pub fn write_raw_with_deadline(&self, limit: Duration) -> Result<(), LockTimeout> {
-        let start = Instant::now();
+        let start = host::now();
+        let elapsed = || Duration::from_nanos(host::now().saturating_sub(start));
         let mut s = self.state.lock();
         if Self::is_recursive_holder(&s) {
             assert!(
@@ -424,21 +423,17 @@ impl ComplexLock {
         }
         let mut spins = 0;
         while s.want_write {
-            if start.elapsed() >= limit {
-                return Err(LockTimeout {
-                    waited: start.elapsed(),
-                });
+            if elapsed() >= limit {
+                return Err(LockTimeout { waited: elapsed() });
             }
             s = self.wait_deadline(s, &mut spins, start, limit);
         }
         s.want_write = true;
         while s.read_count > 0 || s.want_upgrade {
-            if start.elapsed() >= limit {
+            if elapsed() >= limit {
                 s.want_write = false;
                 self.wake_waiters(&mut s);
-                return Err(LockTimeout {
-                    waited: start.elapsed(),
-                });
+                return Err(LockTimeout { waited: elapsed() });
             }
             s = self.wait_deadline(s, &mut spins, start, limit);
         }
@@ -457,7 +452,8 @@ impl ComplexLock {
     /// writer/upgrader does not clear within `limit`. Nothing is
     /// claimed while waiting, so no backout is needed.
     pub fn read_raw_with_deadline(&self, limit: Duration) -> Result<(), LockTimeout> {
-        let start = Instant::now();
+        let start = host::now();
+        let elapsed = || Duration::from_nanos(host::now().saturating_sub(start));
         let mut s = self.state.lock();
         if Self::is_recursive_holder(&s) {
             s.read_count += 1;
@@ -465,10 +461,8 @@ impl ComplexLock {
         }
         let mut spins = 0;
         while s.want_write || s.want_upgrade {
-            if start.elapsed() >= limit {
-                return Err(LockTimeout {
-                    waited: start.elapsed(),
-                });
+            if elapsed() >= limit {
+                return Err(LockTimeout { waited: elapsed() });
             }
             s = self.wait_deadline(s, &mut spins, start, limit);
         }

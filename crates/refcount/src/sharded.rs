@@ -59,7 +59,13 @@ const PEGGED: u32 = u32::MAX;
 static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static SHARD_SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % NSHARDS;
+    // Hosted threads (machk-sim) get their slot from the deterministic
+    // host thread id, so identical scheduler seeds see identical shard
+    // layouts; OS threads draw from the round-robin counter as before.
+    static SHARD_SLOT: usize = match machk_sync::host::current_host() {
+        Some(h) => h.current_id() as usize % NSHARDS,
+        None => NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % NSHARDS,
+    };
 }
 
 fn shard_index() -> usize {

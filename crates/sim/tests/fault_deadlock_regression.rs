@@ -1,0 +1,77 @@
+//! Regression (E17 under sim): a known injected failure — every event
+//! wakeup dropped by `machk-fault` — must surface as a deterministic
+//! [`machk_sim::SimError::Deadlock`], reproducing the *same* schedule on
+//! every run, instead of hanging the suite the way it would on a real
+//! host.
+//!
+//! Fault plans are process-wide, so this scenario lives alone in its
+//! own test binary.
+
+use std::time::Duration;
+
+use machk_event::{assert_wait, thread_block, thread_wakeup, waiters_on, Event, WaitResult};
+use machk_fault::{FaultPlan, FaultSite, ALWAYS};
+use machk_sim::{run, SimConfig, SimError};
+use machk_sync::host;
+
+/// Each run gets a fresh event id: a dropped wakeup leaves its stale
+/// wait record in the process-global event table (that is the injected
+/// bug), and reusing the event would let one run's corpse shadow the
+/// next run's waiter. The schedule is independent of the id, so traces
+/// from different runs stay comparable.
+fn lost_wakeup_scenario(ev: Event) {
+    let waiter = host::spawn(move || {
+        assert_wait(ev, false);
+        // No timeout: if the wakeup is lost, this thread parks forever.
+        let _ = thread_block();
+    });
+    while waiters_on(ev) == 0 {
+        host::yield_now();
+    }
+    // The injected fault drops this wakeup on the floor.
+    let woken = thread_wakeup(ev);
+    assert_eq!(woken, 0, "fault plan must eat the wakeup");
+    host::join(waiter);
+}
+
+#[test]
+fn injected_lost_wakeup_deadlocks_deterministically() {
+    machk_fault::install(FaultPlan::new(0xE17).with_rate(FaultSite::EventDropWakeup, ALWAYS));
+
+    let cfg = SimConfig::DEFAULT.with_seed(0x17_17);
+    let first = run(&cfg, || lost_wakeup_scenario(Event(0xA17))).unwrap_err();
+    match &first {
+        SimError::Deadlock { blocked, .. } => {
+            assert!(
+                blocked.iter().any(|b| b.contains("parked")),
+                "waiter visible in the diagnosis: {blocked:?}"
+            );
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+
+    // Same seed, same plan → the hang reproduces with the identical
+    // schedule, which is what makes the injected bug debuggable.
+    let second = run(&cfg, || lost_wakeup_scenario(Event(0xB17))).unwrap_err();
+    assert_eq!(first.trace().tids, second.trace().tids);
+    assert_eq!(first.token(), second.token());
+
+    // Disarm and prove the same scenario completes: the deadlock was the
+    // injected fault, not the protocol.
+    machk_fault::disarm();
+    let healthy = run(&cfg, || {
+        const EV: Event = Event(0xC17);
+        let waiter = host::spawn(|| {
+            assert_wait(EV, false);
+            assert_eq!(thread_block(), WaitResult::Awakened);
+        });
+        while waiters_on(EV) == 0 {
+            host::yield_now();
+        }
+        assert_eq!(thread_wakeup(EV), 1);
+        host::join(waiter);
+        host::now()
+    })
+    .unwrap();
+    assert!(healthy.clock_ns < Duration::from_secs(1).as_nanos() as u64);
+}

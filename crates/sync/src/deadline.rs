@@ -11,16 +11,18 @@
 //! time-bounded rather than single-shot.
 //!
 //! The jitter source is a per-thread xorshift generator seeded from the
-//! thread tag. It is deliberately *not* the `machk-fault` decision PRNG:
-//! recovery must work (and stay uncorrelated across threads) in builds
-//! with no fault feature at all, and fault-decision streams must not be
+//! host's per-thread seed (a hashed thread tag on the OS host, a
+//! deterministic `(scheduler seed, thread id)` stream under `machk-sim`).
+//! It is deliberately *not* the `machk-fault` decision PRNG: recovery
+//! must work (and stay uncorrelated across threads) in builds with no
+//! fault feature at all, and fault-decision streams must not be
 //! perturbed by how often a waiter backs off.
 
 use core::fmt;
 use std::cell::Cell;
 use std::time::Duration;
 
-use crate::held;
+use crate::host;
 
 /// A bounded lock acquisition gave up: the lock stayed held past the
 /// caller's deadline. Carries how long the caller actually waited.
@@ -51,8 +53,9 @@ fn jitter_rand() -> u64 {
     JITTER_RNG.with(|c| {
         let mut s = c.get();
         if s == 0 {
-            // Seed lazily from the thread tag so threads decorrelate.
-            s = (u64::from(held::thread_tag()) << 1) | 0xA5A5_0001;
+            // Seed lazily from the host so threads decorrelate — and so
+            // simulated runs draw identical jitter for identical seeds.
+            s = host::thread_seed();
         }
         s ^= s << 13;
         s ^= s >> 7;
@@ -91,13 +94,11 @@ impl JitterBackoff {
         let d = (Self::BASE_NS + jitter_rand() % (upper - Self::BASE_NS)).min(Self::CAP_NS);
         self.prev_ns = d;
         if d < 10_000 {
-            for _ in 0..(d / 10 + 1) {
-                core::hint::spin_loop();
-            }
+            host::spin_batch((d / 10 + 1) as u32);
         } else if d < 200_000 {
-            std::thread::yield_now();
+            host::yield_now();
         } else {
-            std::thread::sleep(Duration::from_nanos(d));
+            host::sleep(Duration::from_nanos(d));
         }
         Duration::from_nanos(d)
     }

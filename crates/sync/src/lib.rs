@@ -89,6 +89,7 @@
 
 pub mod deadline;
 pub mod held;
+pub mod host;
 pub mod policy;
 pub mod queued;
 pub mod raw;
@@ -98,6 +99,7 @@ pub mod simple_locked;
 pub mod stats;
 
 pub use deadline::{JitterBackoff, LockTimeout};
+pub use host::{Host, JoinToken, SpinSite, ThreadToken};
 pub use policy::{AdaptiveSpin, Backoff, SpinPolicy};
 pub use raw::{RawSimpleLock, SimpleGuard};
 pub use seq::{SeqCell, SeqWriter};

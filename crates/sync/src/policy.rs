@@ -6,6 +6,8 @@
 
 use core::sync::atomic::{AtomicU32, Ordering};
 
+use crate::host::{self, SpinSite};
+
 /// How a simple lock spins while the lock is unavailable.
 ///
 /// See the crate-level documentation for the cache-behaviour rationale the
@@ -178,31 +180,36 @@ impl Default for AdaptiveSpin {
 /// [`relax`]: Spinner::relax
 pub(crate) struct Spinner {
     config: AdaptiveSpin,
+    site: SpinSite,
     spins: u32,
     yields: u32,
 }
 
 impl Spinner {
     #[inline]
-    pub(crate) fn new(config: AdaptiveSpin) -> Spinner {
+    pub(crate) fn new(config: AdaptiveSpin, site: SpinSite) -> Spinner {
         Spinner {
             config,
+            site,
             spins: 0,
             yields: 0,
         }
     }
 
     /// Wait a little, escalating spin → yield → park across calls.
+    ///
+    /// Every stage is a host scheduling point, so under `machk-sim` a
+    /// spinning waiter always hands control back to the scheduler.
     #[inline]
     pub(crate) fn relax(&mut self) {
         if self.spins < self.config.spin_limit {
             self.spins += 1;
-            core::hint::spin_loop();
+            host::spin_hint(self.site);
         } else if self.yields < self.config.yield_limit || self.config.park_micros == 0 {
             self.yields = self.yields.saturating_add(1);
-            std::thread::yield_now();
+            host::yield_now();
         } else {
-            std::thread::sleep(std::time::Duration::from_micros(self.config.park_micros));
+            host::sleep(std::time::Duration::from_micros(self.config.park_micros));
         }
     }
 }
@@ -247,14 +254,17 @@ pub(crate) fn acquire(
 /// Contended path, kept out of line so the uncontended path stays small.
 #[cold]
 fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff, adaptive: AdaptiveSpin) -> u64 {
+    // All word-spinning policies contend on the lock word's cache line.
+    let site = SpinSite::SharedLine(word as *const AtomicU32 as usize);
     let mut failures: u64 = 1;
     let mut pause = backoff.initial;
-    let mut spinner = Spinner::new(adaptive);
+    let mut spinner = Spinner::new(adaptive, site);
     loop {
         match policy {
             SpinPolicy::Tas => {
                 // Spin on the atomic operation itself.
                 if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
+                    host::lock_acquired(site);
                     return failures;
                 }
                 spinner.relax();
@@ -266,15 +276,14 @@ fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff, adaptive
                 }
                 // ...then make the atomic attempt.
                 if word.swap(LOCKED, Ordering::Acquire) == UNLOCKED {
+                    host::lock_acquired(site);
                     return failures;
                 }
             }
         }
         failures += 1;
         if backoff.enabled() {
-            for _ in 0..pause {
-                core::hint::spin_loop();
-            }
+            host::spin_batch(pause);
             pause = (pause * 2).min(backoff.max);
         }
     }

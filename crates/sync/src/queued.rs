@@ -38,6 +38,7 @@ use core::ptr;
 use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 use std::cell::RefCell;
 
+use crate::host::{self, SpinSite};
 use crate::policy::{AdaptiveSpin, Spinner, LOCKED, UNLOCKED};
 
 /// Ticket word layout: `[next:16 | owner:16]`.
@@ -163,7 +164,9 @@ impl QueuedState {
     #[cold]
     fn ticket_wait(&self, my_turn: u32, word: &AtomicU32, adaptive: AdaptiveSpin) -> u64 {
         self.waiters.fetch_add(1, Ordering::Release);
-        let mut spinner = Spinner::new(adaptive);
+        // Every ticket waiter watches the same "now serving" line.
+        let site = SpinSite::SharedLine(&self.ticket as *const AtomicU32 as usize);
+        let mut spinner = Spinner::new(adaptive, site);
         let mut rounds: u64 = 0;
         while self.ticket.load(Ordering::Acquire) & OWNER_MASK != my_turn {
             rounds += 1;
@@ -171,6 +174,7 @@ impl QueuedState {
         }
         self.waiters.fetch_sub(1, Ordering::Relaxed);
         word.store(LOCKED, Ordering::Relaxed);
+        host::lock_acquired(site);
         rounds.max(1)
     }
 
@@ -245,13 +249,14 @@ impl QueuedState {
         // local spinning that distinguishes MCS from every word-spinning
         // policy.
         unsafe { (*prev).next.store(node, Ordering::Release) };
-        let mut spinner = Spinner::new(adaptive);
+        let mut spinner = Spinner::new(adaptive, SpinSite::LocalLine);
         let mut rounds: u64 = 0;
         while unsafe { (*node).waiting.load(Ordering::Acquire) } != 0 {
             rounds += 1;
             spinner.relax();
         }
         self.waiters.fetch_sub(1, Ordering::Relaxed);
+        host::lock_acquired(SpinSite::LocalLine);
         rounds.max(1)
     }
 
@@ -301,7 +306,9 @@ impl QueuedState {
                     if !next.is_null() {
                         break;
                     }
-                    core::hint::spin_loop();
+                    // Scheduling point: under a simulated host the
+                    // successor needs to run before its link appears.
+                    host::spin_hint(SpinSite::Generic);
                 }
             }
             // Hand off: the successor's Acquire load of `waiting`

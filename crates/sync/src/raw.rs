@@ -9,10 +9,11 @@
 
 use core::fmt;
 use core::sync::atomic::{AtomicU32, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::deadline::{JitterBackoff, LockTimeout};
 use crate::held;
+use crate::host;
 use crate::policy::{self, AdaptiveSpin, Backoff, SpinPolicy};
 use crate::queued::QueuedState;
 
@@ -210,14 +211,17 @@ impl RawSimpleLock {
         if self.try_lock_raw() {
             return Ok(self.guard_for_held());
         }
-        let start = Instant::now();
+        // Host time, not `Instant`: under `machk-sim` the deadline is
+        // measured on the virtual clock, so timeout behaviour is part of
+        // the deterministic schedule rather than wall-clock flakiness.
+        let start = host::now();
         let mut backoff = JitterBackoff::new();
         loop {
             backoff.pause();
             if self.try_lock_raw() {
                 return Ok(self.guard_for_held());
             }
-            let waited = start.elapsed();
+            let waited = Duration::from_nanos(host::now().saturating_sub(start));
             if waited >= limit {
                 return Err(LockTimeout { waited });
             }
@@ -245,9 +249,7 @@ impl RawSimpleLock {
         #[cfg(feature = "fault")]
         if let Some(spins) = machk_fault::fire_jitter(machk_fault::FaultSite::SimpleReleaseDelay, 4096)
         {
-            for _ in 0..spins {
-                core::hint::spin_loop();
-            }
+            host::spin_batch(spins);
         }
         self.debug_clear_holder();
         held::on_release();

@@ -97,8 +97,9 @@ impl<T: Copy> SeqCell<T> {
         loop {
             let before = self.seq.load(Ordering::Acquire);
             if before & 1 == 1 {
-                // A write is in flight; spin briefly.
-                core::hint::spin_loop();
+                // A write is in flight; spin briefly (a scheduling point,
+                // so a simulated host can run the writer to completion).
+                crate::host::spin_hint(crate::host::SpinSite::Generic);
                 continue;
             }
             // Speculative read; may race with a writer, which is fine
@@ -109,7 +110,7 @@ impl<T: Copy> SeqCell<T> {
             if before == after {
                 return value;
             }
-            core::hint::spin_loop();
+            crate::host::spin_hint(crate::host::SpinSite::Generic);
         }
     }
 
