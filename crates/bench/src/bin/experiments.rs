@@ -22,8 +22,9 @@
 //! with `--features fault`.
 //!
 //! `--artifacts DIR` additionally writes machine-readable summaries for
-//! the campaign experiments (`BENCH_E17.json`, `BENCH_E18.json`) into
-//! `DIR` — the files CI uploads as run artifacts.
+//! the campaign experiments (`BENCH_E16.json` under `--features obs`,
+//! `BENCH_E17.json`, `BENCH_E18.json`) into `DIR` — the files CI
+//! uploads as run artifacts.
 //!
 //! E18 (schedule exploration on simulated hosts) requires a build with
 //! `--features sim`; `--sim-seed N` overrides its base scheduler seed
@@ -97,6 +98,13 @@ fn main() {
         let started = std::time::Instant::now();
         let table = match id {
             // The campaign experiments can also emit JSON artifacts.
+            "E16" => {
+                let (table, json) = experiments::e16_lockstat::run_report(quick);
+                if let Some(json) = json {
+                    write_artifact(artifacts.as_deref(), "BENCH_E16.json", &json);
+                }
+                table
+            }
             "E17" => {
                 let n = seeds.unwrap_or(if quick { 5 } else { 200 });
                 let (table, json) = experiments::e17_chaos::run_report(n);

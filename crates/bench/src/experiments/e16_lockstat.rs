@@ -145,6 +145,23 @@ pub fn run(quick: bool) -> String {
     out
 }
 
+/// Run E16 and also return the lockstat report as JSON for the
+/// `--artifacts` machinery (`BENCH_E16.json`). The table is the same
+/// one [`run`] prints; the JSON is the obs layer's machine-readable
+/// lockstat (locks, contention counters, order edges, cycles).
+#[cfg(feature = "obs")]
+pub fn run_report(quick: bool) -> (String, Option<String>) {
+    let table = run(quick);
+    (table, Some(machk_obs::Lockstat::collect().render_json()))
+}
+
+/// Without obs there is nothing to serialize: no artifact is written,
+/// matching the zero-cost claim the table states.
+#[cfg(not(feature = "obs"))]
+pub fn run_report(quick: bool) -> (String, Option<String>) {
+    (run(quick), None)
+}
+
 /// Without the obs feature there is nothing to report — which is the
 /// zero-cost claim, stated as a table.
 #[cfg(not(feature = "obs"))]

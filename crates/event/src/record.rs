@@ -89,6 +89,8 @@ impl WaitRecord {
     /// Panics if a wait is already asserted — the "fatal" nested
     /// `assert_wait` of paper section 8.
     pub(crate) fn assert_wait(&self, interruptible: bool) -> u64 {
+        // relaxed: only the owning thread moves RUNNING -> WAITING, so
+        // this read of its own prior state needs no ordering.
         let word = self.word.load(Ordering::Relaxed);
         assert!(
             state(word) == STATE_RUNNING,
@@ -119,6 +121,9 @@ impl WaitRecord {
                     // Same generation, back to running.
                     let gen = generation(word);
                     self.word
+                        // relaxed: the Acquire load above already
+                        // synchronized with the waker; this store just
+                        // returns the owner's record to RUNNING.
                         .store((gen << GEN_SHIFT) | STATE_RUNNING, Ordering::Relaxed);
                     return result;
                 }
@@ -201,17 +206,21 @@ impl WaitRecord {
 
     /// Whether a wait is currently asserted (racy; assertions/tests only).
     pub(crate) fn is_waiting(&self) -> bool {
+        // relaxed: advisory racy check, as documented.
         state(self.word.load(Ordering::Relaxed)) == STATE_WAITING
     }
 
     /// Public form of the is-waiting check for the crate API.
     pub fn is_waiting_pub(&self) -> bool {
+        // relaxed: advisory racy check.
         state(self.word.load(Ordering::Relaxed)) == STATE_WAITING
     }
 
     /// Whether the wait identified by `gen` is still the current asserted
     /// wait. Used by the event table to recognize stale queue entries.
     pub(crate) fn is_waiting_gen(&self, gen: u64) -> bool {
+        // relaxed: stale-entry screening under the event table lock;
+        // the wake CAS re-validates the generation with ordering.
         let word = self.word.load(Ordering::Relaxed);
         state(word) == STATE_WAITING && generation(word) == gen
     }

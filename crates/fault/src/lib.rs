@@ -91,6 +91,8 @@ pub fn install(plan: FaultPlan) {
     let mut p = PLAN.lock().unwrap();
     *p = Some(plan);
     for i in 0..FaultSite::COUNT {
+        // relaxed: advisory counter zeroing; the Release EPOCH bump
+        // below publishes the new plan.
         DECISIONS[i].store(0, Ordering::Relaxed);
         FIRED[i].store(0, Ordering::Relaxed);
     }
@@ -169,9 +171,10 @@ fn decide(site: FaultSite) -> Option<(bool, u64)> {
         let seq = tf.seq;
         tf.seq = tf.seq.wrapping_add(1);
         c.set(tf);
+        // relaxed: monotone diagnostics counters.
         DECISIONS[site as usize].fetch_add(1, Ordering::Relaxed);
         if fired {
-            FIRED[site as usize].fetch_add(1, Ordering::Relaxed);
+            FIRED[site as usize].fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics
         }
         if tf.plan.record_trace {
             trace::push(FaultRecord {
@@ -221,6 +224,7 @@ pub fn stats() -> Vec<SiteStats> {
         .iter()
         .map(|&site| SiteStats {
             site,
+            // relaxed: advisory counter snapshot.
             decisions: DECISIONS[site as usize].load(Ordering::Relaxed),
             fired: FIRED[site as usize].load(Ordering::Relaxed),
         })
@@ -229,6 +233,7 @@ pub fn stats() -> Vec<SiteStats> {
 
 /// Total faults fired across all sites since the last [`install`].
 pub fn total_fired() -> u64 {
+    // relaxed: advisory counter sum.
     FIRED.iter().map(|f| f.load(Ordering::Relaxed)).sum()
 }
 

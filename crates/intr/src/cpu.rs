@@ -66,23 +66,30 @@ impl Cpu {
 
     /// Current spl level.
     pub fn spl(&self) -> SplLevel {
+        // relaxed: the spl word is written only by the CPU's bound
+        // thread; cross-thread readers get an advisory snapshot.
         SplLevel::from_u8(self.spl.load(Ordering::Relaxed))
     }
 
     pub(crate) fn raise_spl(&self, level: SplLevel) -> SplLevel {
+        // relaxed: spl raise/restore is same-thread state — only the
+        // bound thread mutates its own CPU's level, so program order
+        // is the only ordering required.
         let old = SplLevel::from_u8(self.spl.load(Ordering::Relaxed));
         if level > old {
-            self.spl.store(level as u8, Ordering::Relaxed);
+            self.spl.store(level as u8, Ordering::Relaxed); // relaxed: same-thread
         }
         old
     }
 
     pub(crate) fn set_spl(&self, level: SplLevel) {
+        // relaxed: same-thread store, as in raise_spl.
         self.spl.store(level as u8, Ordering::Relaxed);
     }
 
     /// Number of interrupts this CPU has taken (diagnostics).
     pub fn interrupts_taken(&self) -> u64 {
+        // relaxed: monotone diagnostics counter.
         self.taken.load(Ordering::Relaxed)
     }
 
@@ -121,12 +128,16 @@ impl Cpu {
                 best.map(|i| q.swap_remove(i))
             };
             let Some(p) = next else { return };
+            // relaxed: diagnostics counter.
             self.taken.fetch_add(1, Ordering::Relaxed);
             // Run the handler with spl raised to the interrupt level, as
             // a real interrupt service routine would.
+            // relaxed: the spl swap/restore pair is same-thread (poll
+            // runs on the bound thread); the queue mutex ordered the
+            // handoff of the pending interrupt itself.
             let old = self.spl.swap(p.level as u8, Ordering::Relaxed);
             (p.handler)();
-            self.spl.store(old, Ordering::Relaxed);
+            self.spl.store(old, Ordering::Relaxed); // relaxed: same-thread restore
         }
     }
 }

@@ -196,6 +196,9 @@ impl SplLock {
         let cur = cpu.spl() as u8;
         match self
             .level
+            // relaxed: the level word is a sticky diagnostic binding —
+            // the first locker's level wins and later calls only
+            // compare; no data is published through it.
             .compare_exchange(LEVEL_UNSET, cur, Ordering::Relaxed, Ordering::Relaxed)
         {
             Ok(_) => Ok(()),
@@ -293,6 +296,7 @@ impl SplLock {
 
     /// The spl level this lock is bound to, if established.
     pub fn required_level(&self) -> Option<SplLevel> {
+        // relaxed: advisory read of the sticky diagnostic binding.
         let v = self.level.load(Ordering::Relaxed);
         (v != LEVEL_UNSET).then(|| SplLevel::from_u8(v))
     }

@@ -138,6 +138,8 @@ impl RpcStats {
     }
 
     fn snapshot(&self) -> (u64, u64, u64, u64) {
+        // relaxed: monotone ledger counters; the balance invariant is
+        // checked only at quiescence.
         (
             self.translations.load(Ordering::Relaxed),
             self.interface_releases.load(Ordering::Relaxed),
@@ -250,10 +252,13 @@ impl DispatchTable {
 
         // Step 2: port → object translation obtains a reference.
         let obj = port.kernel_object()?;
+        // relaxed: ledger counter; the reference itself came from the
+        // port's own synchronization.
         stats.translations.fetch_add(1, Ordering::Relaxed);
 
         let handler = self.lookup(&obj, request.id()).ok_or_else(|| {
             // Translation reference released by interface code.
+            // relaxed: ledger counter.
             stats.interface_releases.fetch_add(1, Ordering::Relaxed);
             RpcError::NoSuchOperation
         });
@@ -274,15 +279,15 @@ impl DispatchTable {
         match (&result, semantics) {
             (Ok(_), RefSemantics::Mach30) => {
                 // The successful operation consumed the reference.
-                stats.operation_consumes.fetch_add(1, Ordering::Relaxed);
+                stats.operation_consumes.fetch_add(1, Ordering::Relaxed); // relaxed: ledger counter
             }
             (Ok(_), RefSemantics::Mach25) | (Err(_), _) => {
                 // Interface code releases.
-                stats.interface_releases.fetch_add(1, Ordering::Relaxed);
+                stats.interface_releases.fetch_add(1, Ordering::Relaxed); // relaxed: ledger counter
             }
         }
         if result.is_err() {
-            stats.failures.fetch_add(1, Ordering::Relaxed);
+            stats.failures.fetch_add(1, Ordering::Relaxed); // relaxed: ledger counter
         }
         drop(obj);
 

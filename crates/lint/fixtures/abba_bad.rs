@@ -1,0 +1,21 @@
+//! Fixture: classic ABBA — two functions acquire the same pair of
+//! simple locks in opposite orders. Expected: one `lock-order-cycle`.
+
+use machk_sync::RawSimpleLock;
+
+static FIX_A: RawSimpleLock = RawSimpleLock::named("fixture.a");
+static FIX_B: RawSimpleLock = RawSimpleLock::named("fixture.b");
+
+pub fn forward() {
+    let ga = FIX_A.lock();
+    let gb = FIX_B.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward() {
+    let gb = FIX_B.lock();
+    let ga = FIX_A.lock();
+    drop(ga);
+    drop(gb);
+}

@@ -1,0 +1,21 @@
+//! Clean twin of `abba_bad.rs`: both paths honour the same global
+//! order (§5), so the graph has edges but no cycle. Expected: clean.
+
+use machk_sync::RawSimpleLock;
+
+static FIX_A: RawSimpleLock = RawSimpleLock::named("fixture.a");
+static FIX_B: RawSimpleLock = RawSimpleLock::named("fixture.b");
+
+pub fn forward() {
+    let ga = FIX_A.lock();
+    let gb = FIX_B.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn also_forward() {
+    let ga = FIX_A.lock();
+    let gb = FIX_B.lock();
+    drop(gb);
+    drop(ga);
+}

@@ -1,0 +1,11 @@
+//! Fixture: blocking while holding a simple lock — the §6 violation
+//! the paper forbids outright. Expected: one `hold-across-block`.
+
+use machk_event::thread_block;
+use machk_sync::RawSimpleLock;
+
+pub fn sleeps_holding(lock: &RawSimpleLock) {
+    let guard = lock.lock();
+    thread_block();
+    drop(guard);
+}

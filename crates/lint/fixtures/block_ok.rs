@@ -1,0 +1,11 @@
+//! Clean twin of `block_bad.rs`: the guard is dropped before the
+//! blocking call (§6's "release, then sleep"). Expected: clean.
+
+use machk_event::thread_block;
+use machk_sync::RawSimpleLock;
+
+pub fn sleeps_after_release(lock: &RawSimpleLock) {
+    let guard = lock.lock();
+    drop(guard);
+    thread_block();
+}

@@ -1,0 +1,10 @@
+//! Fixture: a leaked reference — a take with no matching release and
+//! no `lint: ref-transfer` annotation (§8). Expected: one
+//! `ref-unpaired`.
+
+use machk_refcount::ObjHeader;
+
+pub fn peeks_and_leaks(hdr: &ObjHeader) -> bool {
+    hdr.take_ref();
+    hdr.is_active()
+}

@@ -1,0 +1,20 @@
+//! Clean twin of `ref_bad.rs`: the take is paired with a release on
+//! the same path, and a deliberate ownership transfer is annotated.
+//! Expected: clean.
+
+use machk_refcount::ObjHeader;
+
+pub fn peeks_balanced(hdr: &ObjHeader) -> bool {
+    hdr.take_ref();
+    let active = hdr.is_active();
+    hdr.release_ref();
+    active
+}
+
+// lint: ref-transfer — the gained reference is handed to the queue.
+pub fn hands_off(hdr: &ObjHeader) {
+    hdr.take_ref();
+    enqueue(hdr);
+}
+
+fn enqueue(_hdr: &ObjHeader) {}

@@ -1,0 +1,8 @@
+//! Fixture: an unjustified `Ordering::Relaxed`. Expected: one
+//! `relaxed-unjustified`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn peek(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,9 @@
+//! Clean twin of `relaxed_bad.rs`: the Relaxed load carries its
+//! justification. Expected: clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn peek(counter: &AtomicU64) -> u64 {
+    // relaxed: monotone statistics counter, read for display only.
+    counter.load(Ordering::Relaxed)
+}

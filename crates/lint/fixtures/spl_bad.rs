@@ -1,0 +1,13 @@
+//! Fixture: spl inversion — raising to a *lower* level while already
+//! raised breaks §7's monotone discipline (the "raise" would unmask
+//! interrupts the outer section relies on masking). Expected: one
+//! `spl-non-monotone-raise`.
+
+use machk_intr::{spl_raise, spl_restore, SplLevel};
+
+pub fn inverted_raise() {
+    let outer = spl_raise(SplLevel::SplSched);
+    let inner = spl_raise(SplLevel::SplNet);
+    spl_restore(inner);
+    spl_restore(outer);
+}

@@ -1,0 +1,12 @@
+//! Fixture: an spl-protected lock acquired without first raising to
+//! its level — an interrupt taken while it is held would deadlock on
+//! re-entry (§7). Expected: one `spl-missing-raise`.
+
+use machk_intr::{SplLevel, SplLock};
+
+static CLOCK_STATE: SplLock = SplLock::named_at_level("fixture.clock", SplLevel::SplClock);
+
+pub fn unguarded_tick() {
+    CLOCK_STATE.lock();
+    CLOCK_STATE.unlock();
+}

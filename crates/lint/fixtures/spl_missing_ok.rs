@@ -1,0 +1,13 @@
+//! Clean twin of `spl_missing_bad.rs`: the level is raised before the
+//! spl-protected acquire (§7). Expected: clean.
+
+use machk_intr::{spl_raise, spl_restore, SplLevel, SplLock};
+
+static CLOCK_STATE: SplLock = SplLock::named_at_level("fixture.clock", SplLevel::SplClock);
+
+pub fn guarded_tick() {
+    let token = spl_raise(SplLevel::SplClock);
+    CLOCK_STATE.lock();
+    CLOCK_STATE.unlock();
+    spl_restore(token);
+}

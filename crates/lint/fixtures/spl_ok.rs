@@ -1,0 +1,11 @@
+//! Clean twin of `spl_bad.rs`: nested raises go upward only and every
+//! token is restored in LIFO order (§7). Expected: clean.
+
+use machk_intr::{spl_raise, spl_restore, SplLevel};
+
+pub fn monotone_raise() {
+    let outer = spl_raise(SplLevel::SplNet);
+    let inner = spl_raise(SplLevel::SplSched);
+    spl_restore(inner);
+    spl_restore(outer);
+}

@@ -1,0 +1,13 @@
+//! Fixture: an spl raise with no restore on the early-return path —
+//! the cpu would stay masked forever (§7). Expected: one
+//! `spl-unrestored`.
+
+use machk_intr::{spl_raise, spl_restore, SplLevel};
+
+pub fn leaky_exit(fast_path: bool) {
+    let token = spl_raise(SplLevel::SplClock);
+    if fast_path {
+        return;
+    }
+    spl_restore(token);
+}

@@ -1,0 +1,13 @@
+//! Clean twin of `spl_unrestored_bad.rs`: every exit path restores the
+//! token (§7). Expected: clean.
+
+use machk_intr::{spl_raise, spl_restore, SplLevel};
+
+pub fn balanced_exit(fast_path: bool) {
+    let token = spl_raise(SplLevel::SplClock);
+    if fast_path {
+        spl_restore(token);
+        return;
+    }
+    spl_restore(token);
+}

@@ -1,0 +1,320 @@
+//! A hand-rolled Rust lexer — just enough of the language for the
+//! discipline passes.
+//!
+//! The analyzer never needs types or full syntax; it needs identifiers,
+//! punctuation, string literals (for `named("...")` registration), and
+//! the *comments* (justifications and `lint:` annotations live there).
+//! Comments are returned out-of-band so the token stream stays a clean
+//! sequence of code tokens while passes can still ask "is there a
+//! `relaxed:` comment near line N".
+
+/// Token kind. Punctuation is one token per character except `::`,
+/// which the scanner needs as a unit to walk paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Ident,
+    Lifetime,
+    Num,
+    Str,
+    Char,
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == Kind::Ident && self.text == text
+    }
+}
+
+/// One comment (line or block), with the line range it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lex `src` into code tokens plus out-of-band comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let mut toks = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Consecutive `//` lines are one logical comment block:
+                // a justification's window is measured from the block
+                // end, not from whichever line happens to hold the tag.
+                match comments.last_mut() {
+                    Some(prev) if prev.end_line + 1 == line => {
+                        prev.end_line = line;
+                        prev.text.push('\n');
+                        prev.text.push_str(&text);
+                    }
+                    _ => comments.push(Comment {
+                        line,
+                        end_line: line,
+                        text,
+                    }),
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, possibly nested.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '"' => {
+                let (text, consumed) = lex_string(&b[i..]);
+                let tok_line = line;
+                line += count_lines(&b[i..i + consumed]);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text,
+                    line: tok_line,
+                });
+                i += consumed;
+            }
+            'r' if i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') && is_raw_string(&b[i..]) => {
+                let (text, consumed) = lex_raw_string(&b[i..]);
+                let tok_line = line;
+                line += count_lines(&b[i..i + consumed]);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text,
+                    line: tok_line,
+                });
+                i += consumed;
+            }
+            '\'' => {
+                // Char literal vs lifetime: after one (possibly escaped)
+                // char, a closing quote means char literal.
+                let (kind, text, consumed) = lex_quote(&b[i..]);
+                toks.push(Tok { kind, text, line });
+                i += consumed;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // `1.5` — consume a fractional part, but not `1..5`.
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            ':' if i + 1 < n && b[i + 1] == ':' => {
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            c => {
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Is this `r"` / `r#...#"` a raw string (vs an identifier starting
+/// with `r`, which the alphabetic arm would have caught first — this is
+/// only called when the char after `r` is `"` or `#`)?
+fn is_raw_string(b: &[char]) -> bool {
+    let mut j = 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Lex a `"..."` string starting at `b[0] == '"'`. Returns the inner
+/// text (escapes left as-is) and chars consumed.
+fn lex_string(b: &[char]) -> (String, usize) {
+    let mut i = 1;
+    let mut out = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' if i + 1 < b.len() => {
+                out.push(b[i]);
+                out.push(b[i + 1]);
+                i += 2;
+            }
+            '"' => return (out, i + 1),
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i)
+}
+
+/// Lex a raw string `r#"..."#` starting at `b[0] == 'r'`.
+fn lex_raw_string(b: &[char]) -> (String, usize) {
+    let mut hashes = 0;
+    let mut i = 1;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let start = i;
+    while i < b.len() {
+        if b[i] == '"' {
+            let mut j = i + 1;
+            let mut h = 0;
+            while j < b.len() && b[j] == '#' && h < hashes {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return (b[start..i].iter().collect(), j);
+            }
+        }
+        i += 1;
+    }
+    (b[start..i].iter().collect(), i)
+}
+
+/// Lex a `'`-introduced token: char literal or lifetime.
+fn lex_quote(b: &[char]) -> (Kind, String, usize) {
+    // Escaped char literal: '\n', '\u{1F600}', '\''.
+    if b.len() >= 2 && b[1] == '\\' {
+        let mut i = 2;
+        while i < b.len() && b[i] != '\'' {
+            i += 1;
+        }
+        return (Kind::Char, b[..=i.min(b.len() - 1)].iter().collect(), i + 1);
+    }
+    // 'x' (single char then closing quote) is a char literal …
+    if b.len() >= 3 && b[2] == '\'' {
+        return (Kind::Char, b[..3].iter().collect(), 3);
+    }
+    // … otherwise a lifetime: consume the identifier.
+    let mut i = 1;
+    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+        i += 1;
+    }
+    (Kind::Lifetime, b[..i].iter().collect(), i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let (t, _) = lex("fn a() { b.lock(); X::Y }");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "a", "(", ")", "{", "b", ".", "lock", "(", ")", ";", "X", "::", "Y", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_are_out_of_band() {
+        let (t, c) = lex("a // relaxed: fine\nb /* block\ncomment */ c");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "b", "c"]);
+        assert_eq!(c.len(), 2);
+        assert!(c[0].text.contains("relaxed: fine"));
+        assert_eq!(c[0].line, 1);
+        assert_eq!(c[1].line, 2);
+        assert_eq!(c[1].end_line, 3);
+        assert_eq!(t[2].line, 3);
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let (t, _) = lex(r#"named("e16.order.a") 'x' 'static r"raw""#);
+        assert_eq!(t[2].kind, Kind::Str);
+        assert_eq!(t[2].text, "e16.order.a");
+        assert_eq!(t[4].kind, Kind::Char);
+        assert_eq!(t[5].kind, Kind::Lifetime);
+        assert_eq!(t[6].kind, Kind::Str);
+        assert_eq!(t[6].text, "raw");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let (t, _) = lex("0..10 1.5 0xff_u32");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["0", ".", ".", "10", "1.5", "0xff_u32"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Findings: the analyzer's output unit, and the rule catalog mapping
+//! the paper's sections to machine-checked passes.
+
+use std::fmt;
+
+/// The rule catalog. Each rule is one clause of the paper's locking
+/// discipline (see DESIGN.md, "Lock discipline as machine-checked
+/// rules").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// §5 — a cycle in the static lock-order graph (potential ABBA).
+    LockOrderCycle,
+    /// §6 — a simple-lock hold live across a blocking call.
+    HoldAcrossBlock,
+    /// §7 — spl-protected lock acquired below its established level.
+    SplMissingRaise,
+    /// §7 — an spl raise to a level below the current one.
+    SplNonMonotoneRaise,
+    /// §7 — an spl raise not restored on some exit path.
+    SplUnrestored,
+    /// §8 — a reference gain with no matching release and no
+    /// `lint: ref-transfer` annotation.
+    RefUnpaired,
+    /// Atomics audit — `Ordering::Relaxed` without a `relaxed: <why>`
+    /// justification comment.
+    RelaxedUnjustified,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 7] = [
+        Rule::LockOrderCycle,
+        Rule::HoldAcrossBlock,
+        Rule::SplMissingRaise,
+        Rule::SplNonMonotoneRaise,
+        Rule::SplUnrestored,
+        Rule::RefUnpaired,
+        Rule::RelaxedUnjustified,
+    ];
+
+    /// Stable slug: used in reports, baselines, and
+    /// `// lint: allow(<slug>)` annotations.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::HoldAcrossBlock => "hold-across-block",
+            Rule::SplMissingRaise => "spl-missing-raise",
+            Rule::SplNonMonotoneRaise => "spl-non-monotone-raise",
+            Rule::SplUnrestored => "spl-unrestored",
+            Rule::RefUnpaired => "ref-unpaired",
+            Rule::RelaxedUnjustified => "relaxed-unjustified",
+        }
+    }
+
+    pub fn from_slug(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.slug() == s)
+    }
+
+    /// The paper section the rule enforces.
+    pub fn section(self) -> &'static str {
+        match self {
+            Rule::LockOrderCycle => "§5",
+            Rule::HoldAcrossBlock => "§6",
+            Rule::SplMissingRaise | Rule::SplNonMonotoneRaise | Rule::SplUnrestored => "§7",
+            Rule::RefUnpaired => "§8",
+            Rule::RelaxedUnjustified => "atomics",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One finding. `(rule, file, context)` is the baseline identity —
+/// stable under unrelated edits (no line numbers in the key); `line`
+/// and `message` are for the human reading the report.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function (`fn name` or `Type::name`), or a
+    /// rule-specific context (a cycle's canonical node list).
+    pub context: String,
+    pub message: String,
+    /// Suppressed by the committed baseline (reported, not fatal).
+    pub baselined: bool,
+}
+
+impl Finding {
+    pub fn new(rule: Rule, file: &str, line: u32, context: String, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            context,
+            message,
+            baselined: false,
+        }
+    }
+}

@@ -280,6 +280,8 @@ impl ComplexLock {
         machk_obs::registry::record_complex(id, op, wait, waited);
         self.obs
             .acquired_at
+            // relaxed: obs timestamp written by the holder; readers of
+            // the hold time are the same holder at release.
             .store(now, core::sync::atomic::Ordering::Relaxed);
         machk_obs::emit(kind, id, wait);
         machk_obs::order::lock_acquired(id);
@@ -306,6 +308,8 @@ impl ComplexLock {
         let hold = machk_obs::now_ns().saturating_sub(
             self.obs
                 .acquired_at
+                // relaxed: same-holder read of the timestamp stored at
+                // acquisition; the lock itself orders the pair.
                 .load(core::sync::atomic::Ordering::Relaxed),
         );
         machk_obs::registry::record_hold(id, hold);

@@ -103,12 +103,14 @@ impl InstrumentedComplexLock {
     /// Counted `lock_read`.
     pub fn read_raw(&self) {
         self.lock.read_raw();
+        // relaxed: monotone stats counter; no reader infers ordering.
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counted `lock_write`.
     pub fn write_raw(&self) {
         self.lock.write_raw();
+        // relaxed: monotone stats counter.
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -117,10 +119,11 @@ impl InstrumentedComplexLock {
     #[must_use]
     pub fn read_to_write_raw(&self) -> bool {
         let failed = self.lock.read_to_write_raw();
+        // relaxed: monotone stats counters on both branches.
         if failed {
             self.stats.upgrades_failed.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.upgrades_ok.fetch_add(1, Ordering::Relaxed);
+            self.stats.upgrades_ok.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
         failed
     }
@@ -128,6 +131,7 @@ impl InstrumentedComplexLock {
     /// Counted `lock_write_to_read`.
     pub fn write_to_read_raw(&self) {
         self.lock.write_to_read_raw();
+        // relaxed: monotone stats counter.
         self.stats.downgrades.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -135,10 +139,11 @@ impl InstrumentedComplexLock {
     #[must_use]
     pub fn try_read_raw(&self) -> bool {
         let ok = self.lock.try_read_raw();
+        // relaxed: monotone stats counters on both branches.
         if ok {
             self.stats.reads.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.try_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.try_failures.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
         ok
     }
@@ -147,10 +152,11 @@ impl InstrumentedComplexLock {
     #[must_use]
     pub fn try_write_raw(&self) -> bool {
         let ok = self.lock.try_write_raw();
+        // relaxed: monotone stats counters on both branches.
         if ok {
             self.stats.writes.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.try_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.try_failures.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
         ok
     }
@@ -162,6 +168,8 @@ impl InstrumentedComplexLock {
 
     /// Snapshot the counters.
     pub fn snapshot(&self) -> ComplexStatsSnapshot {
+        // relaxed: counters are monotone and independently racy; a
+        // snapshot is advisory, not a consistent cut.
         ComplexStatsSnapshot {
             reads: self.stats.reads.load(Ordering::Relaxed),
             writes: self.stats.writes.load(Ordering::Relaxed),

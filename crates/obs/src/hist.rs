@@ -56,6 +56,8 @@ impl Log2Hist {
     /// Record one nanosecond sample.
     #[inline]
     pub fn record(&self, v: u64) {
+        // relaxed: independent monotone counters; readers accept a
+        // torn cross-field view (see `snapshot`).
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -68,10 +70,12 @@ impl Log2Hist {
     pub fn snapshot(&self) -> HistSnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            // relaxed: advisory snapshot, per the method contract.
             *dst = src.load(Ordering::Relaxed);
         }
         HistSnapshot {
             buckets,
+            // relaxed: same advisory-snapshot contract.
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
@@ -81,8 +85,9 @@ impl Log2Hist {
     /// Zero every bucket and counter.
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // relaxed: advisory zeroing
         }
+        // relaxed: advisory zeroing, like the reads.
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);

@@ -82,6 +82,7 @@ pub fn now_ns() -> u64 {
 pub fn thread_tag() -> u32 {
     static NEXT: AtomicU32 = AtomicU32::new(1);
     thread_local! {
+        // relaxed: unique-id draw; no ordering implied by tags.
         static TAG: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     TAG.with(|t| *t)

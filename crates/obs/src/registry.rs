@@ -139,7 +139,9 @@ pub fn register(name: &'static str, class: LockClass, policy: &'static str) -> u
     {
         return m.id;
     }
-    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    // relaxed: id uniqueness comes from fetch_add atomicity; the
+    // meta-table mutex held here orders everything else.
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
     meta.push(LockMeta {
         id,
         name,
@@ -182,6 +184,9 @@ impl LockTag {
     /// The registry id, registering `name` on first use.
     #[inline]
     pub fn ensure(&self, name: &'static str, class: LockClass, policy: &'static str) -> u32 {
+        // relaxed: the id is a plain table index; lookups that
+        // dereference it go through the meta-table mutex, which
+        // supplies the ordering.
         let id = self.id.load(Ordering::Relaxed);
         if id != 0 && id != REGISTERING {
             return id;
@@ -193,6 +198,8 @@ impl LockTag {
     fn ensure_slow(&self, name: &'static str, class: LockClass, policy: &'static str) -> u32 {
         match self
             .id
+            // relaxed: only elects the registering thread; the meta
+            // is published by `register`'s mutex + the Release store.
             .compare_exchange(0, REGISTERING, Ordering::Relaxed, Ordering::Relaxed)
         {
             Ok(_) => {
@@ -216,6 +223,7 @@ impl LockTag {
 
     /// The id, if already registered.
     pub fn get(&self) -> Option<u32> {
+        // relaxed: plain index read, as in `ensure`.
         let id = self.id.load(Ordering::Relaxed);
         (id != 0 && id != REGISTERING).then_some(id)
     }
@@ -233,9 +241,11 @@ impl Default for LockTag {
 #[inline]
 pub fn record_acquire(id: u32, wait_ns: u64, contended: bool) {
     let e = entry(id);
-    e.acquires.fetch_add(1, Ordering::Relaxed);
+    // relaxed: monotone stats counters; snapshots are advisory.
+    e.acquires.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
     if contended {
-        e.contended.fetch_add(1, Ordering::Relaxed);
+        // relaxed: same stats contract.
+        e.contended.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
     }
     e.wait.record(wait_ns);
 }
@@ -249,7 +259,8 @@ pub fn record_hold(id: u32, hold_ns: u64) {
 /// Record a failed try-acquisition.
 #[inline]
 pub fn record_try_failure(id: u32) {
-    entry(id).try_failures.fetch_add(1, Ordering::Relaxed);
+    // relaxed: monotone stats counter.
+    entry(id).try_failures.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
 }
 
 /// Complex-lock operations for [`record_complex`].
@@ -277,30 +288,30 @@ pub fn record_complex(id: u32, op: ComplexOp, wait_ns: u64, contended: bool) {
     let e = entry(id);
     match op {
         ComplexOp::Read => {
-            e.reads.fetch_add(1, Ordering::Relaxed);
-            e.acquires.fetch_add(1, Ordering::Relaxed);
+            e.reads.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
+            e.acquires.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             if contended {
-                e.contended.fetch_add(1, Ordering::Relaxed);
+                e.contended.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             }
             e.wait.record(wait_ns);
         }
         ComplexOp::Write => {
-            e.writes.fetch_add(1, Ordering::Relaxed);
-            e.acquires.fetch_add(1, Ordering::Relaxed);
+            e.writes.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
+            e.acquires.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             if contended {
-                e.contended.fetch_add(1, Ordering::Relaxed);
+                e.contended.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             }
             e.wait.record(wait_ns);
         }
         ComplexOp::UpgradeOk => {
-            e.upgrades_ok.fetch_add(1, Ordering::Relaxed);
+            e.upgrades_ok.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             e.wait.record(wait_ns);
         }
         ComplexOp::UpgradeFailed => {
-            e.upgrades_failed.fetch_add(1, Ordering::Relaxed);
+            e.upgrades_failed.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
         ComplexOp::Downgrade => {
-            e.downgrades.fetch_add(1, Ordering::Relaxed);
+            e.downgrades.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
     }
 }
@@ -320,6 +331,7 @@ pub enum RefOp {
 #[inline]
 pub fn record_ref(id: u32, op: RefOp) {
     let e = entry(id);
+    // relaxed: monotone stats counters.
     match op {
         RefOp::Take => e.ref_takes.fetch_add(1, Ordering::Relaxed),
         RefOp::Release => e.ref_releases.fetch_add(1, Ordering::Relaxed),
@@ -390,19 +402,19 @@ pub fn snapshot() -> Vec<LockReport> {
                 name: m.name,
                 class: m.class,
                 policy: m.policy,
-                acquires: u64::from(e.acquires.load(Ordering::Relaxed)),
-                contended: u64::from(e.contended.load(Ordering::Relaxed)),
-                try_failures: u64::from(e.try_failures.load(Ordering::Relaxed)),
+                acquires: u64::from(e.acquires.load(Ordering::Relaxed)), // relaxed: advisory read
+                contended: u64::from(e.contended.load(Ordering::Relaxed)), // relaxed: advisory read
+                try_failures: u64::from(e.try_failures.load(Ordering::Relaxed)), // relaxed: advisory read
                 wait: e.wait.snapshot(),
                 hold: e.hold.snapshot(),
-                reads: u64::from(e.reads.load(Ordering::Relaxed)),
-                writes: u64::from(e.writes.load(Ordering::Relaxed)),
-                upgrades_ok: u64::from(e.upgrades_ok.load(Ordering::Relaxed)),
-                upgrades_failed: u64::from(e.upgrades_failed.load(Ordering::Relaxed)),
-                downgrades: u64::from(e.downgrades.load(Ordering::Relaxed)),
-                ref_takes: u64::from(e.ref_takes.load(Ordering::Relaxed)),
-                ref_releases: u64::from(e.ref_releases.load(Ordering::Relaxed)),
-                ref_drains: u64::from(e.ref_drains.load(Ordering::Relaxed)),
+                reads: u64::from(e.reads.load(Ordering::Relaxed)), // relaxed: advisory read
+                writes: u64::from(e.writes.load(Ordering::Relaxed)), // relaxed: advisory read
+                upgrades_ok: u64::from(e.upgrades_ok.load(Ordering::Relaxed)), // relaxed: advisory read
+                upgrades_failed: u64::from(e.upgrades_failed.load(Ordering::Relaxed)), // relaxed: advisory read
+                downgrades: u64::from(e.downgrades.load(Ordering::Relaxed)), // relaxed: advisory read
+                ref_takes: u64::from(e.ref_takes.load(Ordering::Relaxed)), // relaxed: advisory read
+                ref_releases: u64::from(e.ref_releases.load(Ordering::Relaxed)), // relaxed: advisory read
+                ref_drains: u64::from(e.ref_drains.load(Ordering::Relaxed)), // relaxed: advisory read
             }
         })
         .collect()

@@ -76,6 +76,7 @@ impl TraceRing {
 
     /// Total events ever pushed (≥ events currently held).
     pub fn pushed(&self) -> u64 {
+        // relaxed: advisory diagnostic counter.
         self.head.load(Ordering::Relaxed)
     }
 
@@ -91,14 +92,19 @@ impl TraceRing {
     /// Calling this from two threads at once is memory-safe (all slots
     /// are atomics) but forfeits the tear-free guarantee — don't.
     pub fn push_owned(&self, ev: &TraceEvent) {
+        // relaxed: `head` is only written by this owner thread.
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h as usize) & (RING_CAPACITY - 1)];
         // Generation g = number of times this slot has been written.
         let generation = h / RING_CAPACITY as u64;
+        // relaxed: the seqlock protocol orders these — the Release
+        // fence keeps the odd seq before the word stores, and readers
+        // reject any slot whose seq moved or is odd.
         slot.seq.store(2 * generation + 1, Ordering::Relaxed);
         fence(Ordering::Release);
         let w = ev.pack();
         for (dst, src) in slot.words.iter().zip(w) {
+            // relaxed: guarded by the seq protocol above.
             dst.store(src, Ordering::Relaxed);
         }
         slot.seq.store(2 * generation + 2, Ordering::Release);
@@ -123,9 +129,12 @@ impl TraceRing {
                 }
                 let mut w = [0u64; 4];
                 for (dst, src) in w.iter_mut().zip(&slot.words) {
+                    // relaxed: speculative; the seq re-check below
+                    // (after the Acquire fence) rejects torn copies.
                     *dst = src.load(Ordering::Relaxed);
                 }
                 fence(Ordering::Acquire);
+                // relaxed: ordered by the Acquire fence just above.
                 let s2 = slot.seq.load(Ordering::Relaxed);
                 if s1 == s2 {
                     out.push(TraceEvent::unpack(w));

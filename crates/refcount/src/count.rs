@@ -40,8 +40,11 @@ impl LockedRefCount {
     /// pegged count makes the object immortal instead — see
     /// [`LockedRefCount::is_pegged`].
     pub fn take(&self) {
+        // relaxed: all mutation happens under the owning simple lock,
+        // whose acquire/release edges order these plain load/stores.
         let old = self.count.load(Ordering::Relaxed);
         assert!(old > 0, "reference cloned from a dead count");
+        // relaxed: still under the owning lock.
         self.count.store(old.saturating_add(1), Ordering::Relaxed);
     }
 
@@ -53,22 +56,26 @@ impl LockedRefCount {
     /// never reports final.
     #[must_use]
     pub fn release(&self) -> bool {
+        // relaxed: lock-protected, as in `take`.
         let old = self.count.load(Ordering::Relaxed);
         assert!(old > 0, "reference over-released");
         if old == u32::MAX {
             return false; // pegged: immortal
         }
+        // relaxed: still under the owning lock.
         self.count.store(old - 1, Ordering::Relaxed);
         old == 1
     }
 
     /// Whether the count has saturated (the object is immortal).
     pub fn is_pegged(&self) -> bool {
+        // relaxed: pegging is permanent, so a stale read is still true.
         self.count.load(Ordering::Relaxed) == u32::MAX
     }
 
     /// Current value (unlocked read; diagnostics).
     pub fn get(&self) -> u32 {
+        // relaxed: advisory diagnostic snapshot.
         self.count.load(Ordering::Relaxed)
     }
 }
@@ -125,6 +132,7 @@ impl DrainableCount {
 
     /// Record the start of an operation. Caller holds the owning lock.
     pub fn begin(&self) {
+        // relaxed: mutation only under the owning lock (see type doc).
         let old = self.count.load(Ordering::Relaxed);
         self.count.store(old + 1, Ordering::Relaxed);
     }
@@ -133,8 +141,10 @@ impl DrainableCount {
     /// count reached zero. Caller holds the owning lock; the wakeup
     /// itself is non-blocking and safe under the lock.
     pub fn end(&self) {
+        // relaxed: mutation only under the owning lock (see type doc).
         let old = self.count.load(Ordering::Relaxed);
         assert!(old > 0, "DrainableCount::end without begin");
+        // relaxed: still under the owning lock.
         self.count.store(old - 1, Ordering::Relaxed);
         if old == 1 {
             thread_wakeup(self.event());
@@ -152,6 +162,8 @@ impl DrainableCount {
     /// [`begin`]: DrainableCount::begin
     /// [`end`]: DrainableCount::end
     pub fn wait_drained(&self, lock: &RawSimpleLock) {
+        // relaxed: read under the owning lock, and re-checked after
+        // every re-acquisition — the lock provides the ordering.
         while self.count.load(Ordering::Relaxed) > 0 {
             let r = thread_sleep(self.event(), lock, false);
             debug_assert_eq!(r, WaitResult::Awakened);
@@ -161,6 +173,7 @@ impl DrainableCount {
 
     /// Current value (unlocked read; diagnostics).
     pub fn get(&self) -> u32 {
+        // relaxed: advisory diagnostic snapshot.
         self.count.load(Ordering::Relaxed)
     }
 

@@ -111,8 +111,10 @@ impl ObjHeader {
             return;
         }
         let _g = self.lock.lock();
+        // relaxed: guarded by the header lock held just above.
         let old = self.refs.load(Ordering::Relaxed);
         assert!(old > 0, "reference cloned from a dead object (count was 0)");
+        // relaxed: still under the header lock.
         self.refs.store(old + 1, Ordering::Relaxed);
     }
 
@@ -126,8 +128,10 @@ impl ObjHeader {
             return sharded.release();
         }
         let _g = self.lock.lock();
+        // relaxed: guarded by the header lock held just above.
         let old = self.refs.load(Ordering::Relaxed);
         assert!(old > 0, "reference over-released");
+        // relaxed: still under the header lock.
         self.refs.store(old - 1, Ordering::Relaxed);
         old == 1
     }
@@ -136,6 +140,7 @@ impl ObjHeader {
     pub fn ref_count(&self) -> u32 {
         match self.sharded_count() {
             Some(sharded) => sharded.get(),
+            // relaxed: advisory diagnostic snapshot.
             None => self.refs.load(Ordering::Relaxed),
         }
     }
@@ -147,6 +152,8 @@ impl ObjHeader {
     /// and exactly one must win.
     pub fn deactivate(&self) -> Result<(), Deactivated> {
         let _g = self.lock.lock();
+        // relaxed: flag flips only under the header lock; the lock's
+        // release publishes it to the next locker.
         if self.active.swap(false, Ordering::Relaxed) {
             #[cfg(feature = "obs")]
             machk_obs::emit(
@@ -165,6 +172,8 @@ impl ObjHeader {
     /// activity must call this *after* (re)locking the object and be
     /// prepared for [`Deactivated`].
     pub fn is_active(&self) -> bool {
+        // relaxed: advisory unless called with the header locked, in
+        // which case the lock ordering makes it exact (see doc).
         self.active.load(Ordering::Relaxed)
     }
 

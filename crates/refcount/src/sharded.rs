@@ -64,6 +64,7 @@ thread_local! {
     // layouts; OS threads draw from the round-robin counter as before.
     static SHARD_SLOT: usize = match machk_sync::host::current_host() {
         Some(h) => h.current_id() as usize % NSHARDS,
+        // relaxed: round-robin slot draw; only uniqueness-ish matters.
         None => NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % NSHARDS,
     };
 }
@@ -153,6 +154,8 @@ impl ShardedRefCount {
     /// on [`ShardedRefCount::take`]): the object is now immortal and no
     /// release will ever report final.
     pub fn is_pegged(&self) -> bool {
+        // relaxed: pegging is permanent once set; a stale read only
+        // delays observing immortality.
         self.base.load(Ordering::Relaxed) == PEGGED
     }
 
@@ -198,6 +201,7 @@ impl ShardedRefCount {
             return self.take_slow();
         }
         let shard = &self.shards[shard_index()].0;
+        // relaxed: seed value; the CAS revalidates it.
         let mut seen = shard.load(Ordering::Relaxed);
         // CLOSED - 1 also diverts: incrementing it would collide with the
         // sentinel.
@@ -205,6 +209,10 @@ impl ShardedRefCount {
             match shard.compare_exchange_weak(
                 seen,
                 seen + 1,
+                // relaxed: taking a reference needs no ordering — the
+                // caller already holds one, which is what keeps the
+                // object alive (the `Arc::clone` argument); the drain's
+                // AcqRel swap reconciles before any destruction.
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
@@ -222,9 +230,11 @@ impl ShardedRefCount {
     #[cold]
     fn take_slow(&self) {
         let _g = self.drain_lock.lock();
+        // relaxed: `base` only moves under the drain lock.
         let base = self.base.load(Ordering::Relaxed);
         assert!(base >= 1, "reference taken on a dead object (count was 0)");
         // Saturating: `MAX - 1` pegs, `MAX` (already pegged) stays put.
+        // relaxed: still under the drain lock.
         self.base.store(base.saturating_add(1), Ordering::Relaxed);
         #[cfg(feature = "obs")]
         self.obs_ref(machk_obs::RefOp::Take, machk_obs::EventKind::RefTake, 1);
@@ -242,12 +252,14 @@ impl ShardedRefCount {
             return self.release_slow();
         }
         let shard = &self.shards[shard_index()].0;
+        // relaxed: seed value; the CAS revalidates it.
         let mut seen = shard.load(Ordering::Relaxed);
         while seen != 0 && seen != CLOSED {
             match shard.compare_exchange_weak(
                 seen,
                 seen - 1,
                 Ordering::Release,
+                // relaxed: on failure nothing was released.
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
@@ -264,6 +276,7 @@ impl ShardedRefCount {
     #[cold]
     fn release_slow(&self) -> bool {
         let _g = self.drain_lock.lock();
+        // relaxed: `base` only moves under the drain lock.
         let base = self.base.load(Ordering::Relaxed);
         assert!(base >= 1, "reference over-released");
         if base == PEGGED {
@@ -274,6 +287,7 @@ impl ShardedRefCount {
         if base > 1 {
             // Surplus in the exact remainder; consume it, clearly not
             // final.
+            // relaxed: still under the drain lock.
             self.base.store(base - 1, Ordering::Relaxed);
             #[cfg(feature = "obs")]
             self.obs_ref(machk_obs::RefOp::Release, machk_obs::EventKind::RefRelease, 0);
@@ -296,6 +310,8 @@ impl ShardedRefCount {
         // would reach the sentinel pegs instead of wrapping (the
         // saturation guard; the count becomes immortal, never a bogus
         // final).
+        // relaxed: under the drain lock; the Release shard re-opens
+        // below publish the fold to fast-path takers.
         self.base
             .store(u32::try_from(outstanding).unwrap_or(PEGGED), Ordering::Relaxed);
         for s in &self.shards {
@@ -330,6 +346,7 @@ impl ShardedRefCount {
     /// count). E17 runs this after every seeded schedule.
     pub fn drain_audit(&self) -> DrainAudit {
         let _g = self.drain_lock.lock();
+        // relaxed: `base` only moves under the drain lock.
         let base = self.base.load(Ordering::Relaxed);
         let mut outstanding: u64 = 0;
         for s in &self.shards {
@@ -345,6 +362,8 @@ impl ShardedRefCount {
         } else {
             u32::try_from(u64::from(base) + outstanding).unwrap_or(PEGGED)
         };
+        // relaxed: under the drain lock; published by the Release
+        // shard re-opens below.
         self.base.store(folded, Ordering::Relaxed);
         for s in &self.shards {
             s.0.store(0, Ordering::Release);
@@ -361,8 +380,10 @@ impl ShardedRefCount {
     /// being summed — diagnostics only, like
     /// [`ObjHeader::ref_count`](crate::ObjHeader::ref_count).
     pub fn get(&self) -> u32 {
+        // relaxed: advisory diagnostic sum; parts may move mid-read.
         let mut sum = u64::from(self.base.load(Ordering::Relaxed));
         for s in &self.shards {
+            // relaxed: same advisory read.
             let v = s.0.load(Ordering::Relaxed);
             if v != CLOSED {
                 sum += u64::from(v);

@@ -236,6 +236,8 @@ pub(crate) fn acquire(
     // pure TTAS tests first even on the first attempt.
     match policy {
         SpinPolicy::Ttas => {
+            // relaxed: TTAS pre-test only gates the swap; the Acquire
+            // swap is the synchronizing acquisition.
             if word.load(Ordering::Relaxed) == UNLOCKED
                 && word.swap(LOCKED, Ordering::Acquire) == UNLOCKED
             {
@@ -271,6 +273,8 @@ fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff, adaptive
             }
             _ => {
                 // Spin locally until the lock looks free...
+                // relaxed: read-only spin; the Acquire swap below does
+                // the synchronizing acquisition.
                 while word.load(Ordering::Relaxed) != UNLOCKED {
                     spinner.relax();
                 }
@@ -295,6 +299,7 @@ fn acquire_slow(word: &AtomicU32, policy: SpinPolicy, backoff: Backoff, adaptive
 pub(crate) fn try_acquire(word: &AtomicU32) -> bool {
     // An unconditional swap is the literal test-and-set; use
     // compare_exchange to avoid dirtying the line when the lock is held.
+    // relaxed: a failed try acquires nothing to order.
     word.compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
         .is_ok()
 }

@@ -141,8 +141,11 @@ impl QueuedState {
 
     /// Reset to quiescent for `simple_lock_init` on an unheld lock.
     pub(crate) fn reset(&self) {
+        // relaxed: `simple_lock_init` requires the lock unheld and
+        // unobserved, so there is no concurrent access to order with.
         self.ticket.store(0, Ordering::Relaxed);
         self.tail.store(ptr::null_mut(), Ordering::Relaxed);
+        // relaxed: same re-init contract as above.
         self.owner_node.store(ptr::null_mut(), Ordering::Relaxed);
         self.waiters.store(0, Ordering::Relaxed);
     }
@@ -155,6 +158,8 @@ impl QueuedState {
         let drawn = self.ticket.fetch_add(TICKET_NEXT, Ordering::Acquire);
         let my_turn = drawn >> 16;
         if drawn & OWNER_MASK == my_turn {
+            // relaxed: the Acquire ticket draw is the synchronizing
+            // acquisition; `word` only mirrors held/free for debug dumps.
             word.store(LOCKED, Ordering::Relaxed);
             return 0;
         }
@@ -172,7 +177,10 @@ impl QueuedState {
             rounds += 1;
             spinner.relax();
         }
+        // relaxed: only the *increment* publishes admission order (see
+        // `waiters` field doc); the decrement is a stats-only retreat.
         self.waiters.fetch_sub(1, Ordering::Relaxed);
+        // relaxed: the Acquire "now serving" load above synchronized.
         word.store(LOCKED, Ordering::Relaxed);
         host::lock_acquired(site);
         rounds.max(1)
@@ -181,6 +189,7 @@ impl QueuedState {
     /// Single ticket acquisition attempt: only succeeds when no one is
     /// waiting (drawing a ticket would otherwise commit us to the queue).
     pub(crate) fn ticket_try(&self, word: &AtomicU32) -> bool {
+        // relaxed: advisory peek; the CAS below revalidates the value.
         let cur = self.ticket.load(Ordering::Relaxed);
         if cur >> 16 != cur & OWNER_MASK {
             return false; // held or queued
@@ -191,20 +200,25 @@ impl QueuedState {
                 cur,
                 cur.wrapping_add(TICKET_NEXT),
                 Ordering::Acquire,
+                // relaxed: a failed try acquires nothing to order.
                 Ordering::Relaxed,
             )
             .is_ok();
         if ok {
+            // relaxed: the Acquire CAS synchronized; `word` is a mirror.
             word.store(LOCKED, Ordering::Relaxed);
         }
         ok
     }
 
     pub(crate) fn ticket_release(&self, word: &AtomicU32) {
+        // relaxed: the Release CAS below is what publishes the critical
+        // section to the next owner; `word` is a debug mirror.
         word.store(UNLOCKED, Ordering::Relaxed);
         // Advance "now serving". A plain add could carry into the `next`
         // half when owner wraps at 0xFFFF, so compose the halves manually;
         // the CAS loop absorbs concurrent ticket draws.
+        // relaxed: seed value only; the CAS revalidates it.
         let mut cur = self.ticket.load(Ordering::Relaxed);
         loop {
             let advanced = (cur & !OWNER_MASK) | (cur.wrapping_add(1) & OWNER_MASK);
@@ -212,6 +226,7 @@ impl QueuedState {
                 cur,
                 advanced,
                 Ordering::Release,
+                // relaxed: failure just reloads; no acquisition occurred.
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return,
@@ -226,8 +241,9 @@ impl QueuedState {
     /// (0 = queue was empty) for the contention statistics.
     pub(crate) fn mcs_acquire(&self, word: &AtomicU32, adaptive: AdaptiveSpin) -> u64 {
         let node = node_get();
-        // The node is ours alone until the tail swap publishes it.
         unsafe {
+            // relaxed: the node is ours alone until the AcqRel tail swap
+            // publishes it, and that swap orders these init stores.
             (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
             (*node).waiting.store(1, Ordering::Relaxed);
         }
@@ -237,6 +253,9 @@ impl QueuedState {
         } else {
             self.mcs_wait(prev, node, adaptive)
         };
+        // relaxed: tail swap / waiting handoff already synchronized;
+        // `word` mirrors state and `owner_node` is read back only by
+        // this same thread at release time.
         word.store(LOCKED, Ordering::Relaxed);
         self.owner_node.store(node, Ordering::Relaxed);
         rounds
@@ -255,6 +274,8 @@ impl QueuedState {
             rounds += 1;
             spinner.relax();
         }
+        // relaxed: stats-only retreat; the Acquire `waiting` spin above
+        // is the synchronizing edge.
         self.waiters.fetch_sub(1, Ordering::Relaxed);
         host::lock_acquired(SpinSite::LocalLine);
         rounds.max(1)
@@ -264,14 +285,18 @@ impl QueuedState {
     pub(crate) fn mcs_try(&self, word: &AtomicU32) -> bool {
         let node = node_get();
         unsafe {
+            // relaxed: node is thread-private until the CAS publishes it.
             (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
             (*node).waiting.store(1, Ordering::Relaxed);
         }
         match self
             .tail
+            // relaxed: on failure nothing is acquired, node stays private.
             .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
         {
             Ok(_) => {
+                // relaxed: the AcqRel CAS synchronized; `word` mirrors
+                // state, `owner_node` is same-thread data.
                 word.store(LOCKED, Ordering::Relaxed);
                 self.owner_node.store(node, Ordering::Relaxed);
                 true
@@ -284,18 +309,26 @@ impl QueuedState {
     }
 
     pub(crate) fn mcs_release(&self, word: &AtomicU32) {
+        // relaxed: reading back this thread's own store from acquire;
+        // program order suffices for same-thread data.
         let node = self.owner_node.swap(ptr::null_mut(), Ordering::Relaxed);
         debug_assert!(!node.is_null(), "MCS release without a holder node");
+        // relaxed: the Release successor-handoff below (or the tail CAS)
+        // publishes the critical section; `word` is a debug mirror.
         word.store(UNLOCKED, Ordering::Relaxed);
         unsafe {
             let mut next = (*node).next.load(Ordering::Acquire);
             if next.is_null() {
                 // No visible successor: try to close the queue.
-                if self
-                    .tail
-                    .compare_exchange(node, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
-                    .is_ok()
-                {
+                let closed = self.tail.compare_exchange(
+                    node,
+                    ptr::null_mut(),
+                    Ordering::Release,
+                    // relaxed: a failure only tells us a successor
+                    // exists; we re-poll `next` with Acquire below.
+                    Ordering::Relaxed,
+                );
+                if closed.is_ok() {
                     node_put(node);
                     return;
                 }

@@ -327,6 +327,7 @@ impl RawSimpleLock {
     /// Inherently racy; useful for assertions and statistics only.
     #[inline]
     pub fn is_locked(&self) -> bool {
+        // relaxed: advisory snapshot; callers must not infer ownership.
         self.word.load(Ordering::Relaxed) == policy::LOCKED
     }
 
@@ -396,6 +397,7 @@ impl RawSimpleLock {
         let wait = now.saturating_sub(t0);
         let contended = failures > 0;
         machk_obs::registry::record_acquire(id, wait, contended);
+        // relaxed: timestamp read back only by this holder at release.
         self.obs.acquired_at.store(now, Ordering::Relaxed);
         if contended {
             machk_obs::emit(machk_obs::EventKind::SimpleContended, id, wait);
@@ -412,6 +414,7 @@ impl RawSimpleLock {
         let Some(id) = self.obs.tag.get() else {
             return;
         };
+        // relaxed: written by this same holder at acquire time.
         let hold = machk_obs::now_ns().saturating_sub(self.obs.acquired_at.load(Ordering::Relaxed));
         machk_obs::registry::record_hold(id, hold);
         machk_obs::emit(machk_obs::EventKind::SimpleRelease, id, hold);
@@ -421,6 +424,8 @@ impl RawSimpleLock {
     #[cfg(debug_assertions)]
     #[inline]
     fn debug_check_not_holder(&self) {
+        // relaxed: best-effort debug heuristic; a stale read only
+        // weakens the self-deadlock diagnostic, never correctness.
         if self.is_locked() && self.holder.load(Ordering::Relaxed) == held::thread_tag() {
             panic!(
                 "simple lock self-deadlock: thread already holds this lock \
@@ -436,6 +441,7 @@ impl RawSimpleLock {
     #[cfg(debug_assertions)]
     #[inline]
     fn debug_set_holder(&self) {
+        // relaxed: written under the lock; ordered by the acquire.
         self.holder.store(held::thread_tag(), Ordering::Relaxed);
     }
 
@@ -447,6 +453,7 @@ impl RawSimpleLock {
     #[inline]
     fn debug_clear_holder(&self) {
         let me = held::thread_tag();
+        // relaxed: cleared under the lock before the releasing store.
         let holder = self.holder.swap(0, Ordering::Relaxed);
         assert!(
             holder == me,

@@ -106,6 +106,8 @@ impl<T: Copy> SeqCell<T> {
             // for Copy data — the sequence check rejects torn values.
             let value = unsafe { core::ptr::read_volatile(self.value.get()) };
             fence(Ordering::Acquire);
+            // relaxed: the Acquire fence above orders this re-check
+            // after the speculative data read.
             let after = self.seq.load(Ordering::Relaxed);
             if before == after {
                 return value;
@@ -116,6 +118,7 @@ impl<T: Copy> SeqCell<T> {
 
     /// The number of completed writes (diagnostics).
     pub fn write_count(&self) -> u64 {
+        // relaxed: diagnostics-only counter snapshot.
         self.seq.load(Ordering::Relaxed) / 2
     }
 }
@@ -124,12 +127,15 @@ impl<T: Copy> SeqWriter<'_, T> {
     /// Publish a new value. Wait-free: never blocks on readers.
     pub fn write(&mut self, value: T) {
         let cell = self.cell;
+        // relaxed: only this single writer ever modifies `seq`.
         let seq = cell.seq.load(Ordering::Relaxed);
         debug_assert_eq!(
             seq & 1,
             0,
             "concurrent SeqCell writers (protocol violation)"
         );
+        // relaxed: the Release fence below keeps the odd store and
+        // the data write ordered for any reader that sees them.
         cell.seq.store(seq + 1, Ordering::Relaxed);
         fence(Ordering::Release);
         unsafe { core::ptr::write_volatile(cell.value.get(), value) };

@@ -88,6 +88,8 @@ impl LockStats {
 
     /// Copy the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
+        // relaxed: counters are monotone and independently racy; a
+        // snapshot is advisory, not a consistent cut.
         StatsSnapshot {
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
             contended: self.contended.load(Ordering::Relaxed),
@@ -98,6 +100,7 @@ impl LockStats {
 
     /// Zero the counters.
     pub fn reset(&self) {
+        // relaxed: counter zeroing is advisory, like the reads.
         self.acquisitions.store(0, Ordering::Relaxed);
         self.contended.store(0, Ordering::Relaxed);
         self.spin_failures.store(0, Ordering::Relaxed);
@@ -105,8 +108,10 @@ impl LockStats {
     }
 
     fn record_acquire(&self, failures: u64) {
+        // relaxed: monotone stats counters; no reader infers ordering.
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         if failures > 0 {
+            // relaxed: same stats-counter contract.
             self.contended.fetch_add(1, Ordering::Relaxed);
             self.spin_failures.fetch_add(failures, Ordering::Relaxed);
         }
@@ -161,6 +166,7 @@ impl InstrumentedSimpleLock {
                 Some(g)
             }
             None => {
+                // relaxed: monotone stats counter.
                 self.stats.try_failures.fetch_add(1, Ordering::Relaxed);
                 None
             }

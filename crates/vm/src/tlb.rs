@@ -97,6 +97,7 @@ impl TlbSystem {
         let removed = before - t.len();
         if removed > 0 {
             self.invalidations
+                // relaxed: monotone diagnostics counter.
                 .fetch_add(removed as u64, Ordering::Relaxed);
         }
     }
@@ -184,7 +185,7 @@ impl TlbSystem {
         });
         let outcome = barrier_synchronize(&self.machine, action, &exempt, limit);
         if outcome == BarrierOutcome::Completed {
-            self.shootdowns.fetch_add(1, Ordering::Relaxed);
+            self.shootdowns.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
         outcome
     }
@@ -197,11 +198,13 @@ impl TlbSystem {
 
     /// Completed shootdowns.
     pub fn shootdown_count(&self) -> u64 {
+        // relaxed: advisory counter read.
         self.shootdowns.load(Ordering::Relaxed)
     }
 
     /// Total invalidated TLB entries.
     pub fn invalidation_count(&self) -> u64 {
+        // relaxed: advisory counter read.
         self.invalidations.load(Ordering::Relaxed)
     }
 }
