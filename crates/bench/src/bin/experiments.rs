@@ -22,8 +22,9 @@
 //! with `--features fault`.
 //!
 //! `--artifacts DIR` additionally writes machine-readable summaries for
-//! the campaign experiments (`BENCH_E16.json` under `--features obs`,
-//! `BENCH_E17.json`, `BENCH_E18.json`) into `DIR` — the files CI
+//! the campaign experiments (`BENCH_E1.json`, `BENCH_E5.json`,
+//! `BENCH_E16.json` under `--features obs`, `BENCH_E17.json`,
+//! `BENCH_E18.json`, `BENCH_E19.json`) into `DIR` — the files CI
 //! uploads as run artifacts.
 //!
 //! E18 (schedule exploration on simulated hosts) requires a build with
@@ -98,6 +99,16 @@ fn main() {
         let started = std::time::Instant::now();
         let table = match id {
             // The campaign experiments can also emit JSON artifacts.
+            "E1" => {
+                let (table, json) = experiments::e01_simple_lock::run_report(quick);
+                write_artifact(artifacts.as_deref(), "BENCH_E1.json", &json);
+                table
+            }
+            "E5" => {
+                let (table, json) = experiments::e05_refcount::run_report(quick);
+                write_artifact(artifacts.as_deref(), "BENCH_E5.json", &json);
+                table
+            }
             "E16" => {
                 let (table, json) = experiments::e16_lockstat::run_report(quick);
                 if let Some(json) = json {
@@ -116,6 +127,11 @@ fn main() {
                 write_artifact(artifacts.as_deref(), "BENCH_E18.json", &json);
                 table
             }
+            "E19" => {
+                let (table, json) = experiments::e19_ipc_storm::run_report(quick);
+                write_artifact(artifacts.as_deref(), "BENCH_E19.json", &json);
+                table
+            }
             _ => run(quick),
         };
         print!("{table}");
@@ -123,7 +139,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched {wanted:?}; known ids are E1..E18 and `lockstat`");
+        eprintln!("no experiment matched {wanted:?}; known ids are E1..E19 and `lockstat`");
         std::process::exit(2);
     }
 }

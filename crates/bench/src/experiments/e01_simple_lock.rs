@@ -21,8 +21,24 @@ use machk_core::{Backoff, SpinPolicy};
 use crate::util::{contention_sweep, fmt_rate, thread_sweep, Table};
 use crate::workloads::{simple_lock_counter, simple_lock_first_try_rate};
 
+/// The policy sweep, with the JSON field name of each column.
+const POLICIES: [(&str, SpinPolicy, Backoff); 6] = [
+    ("tas", SpinPolicy::Tas, Backoff::NONE),
+    ("ttas", SpinPolicy::Ttas, Backoff::NONE),
+    ("tas_ttas", SpinPolicy::TasThenTtas, Backoff::NONE),
+    ("tas_ttas_backoff", SpinPolicy::TasThenTtas, Backoff::DEFAULT),
+    ("ticket", SpinPolicy::Ticket, Backoff::NONE),
+    ("mcs", SpinPolicy::Mcs, Backoff::NONE),
+];
+
 /// Run E1 and render its tables.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E1; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E1.json`).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 20_000 } else { 400_000 };
     let mut out = String::new();
 
@@ -38,21 +54,17 @@ pub fn run(quick: bool) -> String {
             "mcs",
         ],
     );
+    let mut sweep_json = Vec::new();
     for threads in contention_sweep() {
         let mut cells = vec![threads.to_string()];
-        for (policy, backoff) in [
-            (SpinPolicy::Tas, Backoff::NONE),
-            (SpinPolicy::Ttas, Backoff::NONE),
-            (SpinPolicy::TasThenTtas, Backoff::NONE),
-            (SpinPolicy::TasThenTtas, Backoff::DEFAULT),
-            (SpinPolicy::Ticket, Backoff::NONE),
-            (SpinPolicy::Mcs, Backoff::NONE),
-        ] {
-            cells.push(fmt_rate(simple_lock_counter(
-                policy, backoff, threads, iters,
-            )));
+        let mut rates = Vec::new();
+        for (name, policy, backoff) in POLICIES {
+            let rate = simple_lock_counter(policy, backoff, threads, iters);
+            cells.push(fmt_rate(rate));
+            rates.push(format!("\"{name}\":{rate:.0}"));
         }
         t.row(&cells);
+        sweep_json.push(format!("{{\"threads\":{threads},{}}}", rates.join(",")));
     }
     t.note("paper: TTAS avoids coherence traffic while spinning; TAS-first wins uncontended");
     t.note("queued (ticket/mcs) add FIFO admission; mcs also spins locally per-waiter");
@@ -62,11 +74,21 @@ pub fn run(quick: bool) -> String {
         "E1b: first-try acquisition rate (tas+ttas)",
         &["threads", "first-try rate"],
     );
+    let mut first_try_json = Vec::new();
     for threads in thread_sweep() {
         let r = simple_lock_first_try_rate(SpinPolicy::TasThenTtas, threads, iters / 4);
         t.row(&[threads.to_string(), format!("{:.3}", r)]);
+        first_try_json.push(format!("{{\"threads\":{threads},\"rate\":{r:.4}}}"));
     }
     t.note("paper: 'most locks in a well designed system are acquired on the first attempt'");
     out.push_str(&t.render());
-    out
+
+    let json = format!(
+        "{{\"experiment\":\"E1\",\"mode\":\"{}\",\"iters\":{iters},\
+         \"throughput_ops_per_sec\":[{}],\"first_try_rate\":[{}]}}",
+        if quick { "quick" } else { "full" },
+        sweep_json.join(","),
+        first_try_json.join(","),
+    );
+    (out, json)
 }

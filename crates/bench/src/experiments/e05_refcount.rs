@@ -20,6 +20,12 @@ use crate::workloads::{adopted_ref_storm, refcount_churn, refcount_storm, RefImp
 
 /// Run E5 and render its tables.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E5; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E5.json`).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 20_000 } else { 400_000 };
     let mut out = String::new();
 
@@ -27,13 +33,21 @@ pub fn run(quick: bool) -> String {
         "E5a: clone+release on one shared object (ops/s)",
         &["threads", "lock+count (Mach)", "atomic (Arc)", "sharded"],
     );
+    let mut storm_json = Vec::new();
     for threads in contention_sweep() {
+        let locked = refcount_storm(RefImpl::LockedCount, threads, iters);
+        let atomic = refcount_storm(RefImpl::Arc, threads, iters);
+        let sharded = refcount_storm(RefImpl::Sharded, threads, iters);
         t.row(&[
             threads.to_string(),
-            fmt_rate(refcount_storm(RefImpl::LockedCount, threads, iters)),
-            fmt_rate(refcount_storm(RefImpl::Arc, threads, iters)),
-            fmt_rate(refcount_storm(RefImpl::Sharded, threads, iters)),
+            fmt_rate(locked),
+            fmt_rate(atomic),
+            fmt_rate(sharded),
         ]);
+        storm_json.push(format!(
+            "{{\"threads\":{threads},\"locked\":{locked:.0},\"atomic\":{atomic:.0},\
+             \"sharded\":{sharded:.0}}}"
+        ));
     }
     t.note("Mach increments under the object's simple lock; Arc uses one atomic RMW");
     t.note("sharded stripes the count per thread; drain-to-exact keeps destruction exact");
@@ -44,18 +58,21 @@ pub fn run(quick: bool) -> String {
         "E5b: object churn, create + 4 clones + destroy (objects/s)",
         &["threads", "lock+count (Mach)", "atomic (Arc)", "sharded"],
     );
+    let mut churn_json = Vec::new();
     for threads in thread_sweep() {
+        let locked = refcount_churn(RefImpl::LockedCount, threads, churn_iters, 4);
+        let atomic = refcount_churn(RefImpl::Arc, threads, churn_iters, 4);
+        let sharded = refcount_churn(RefImpl::Sharded, threads, churn_iters, 4);
         t.row(&[
             threads.to_string(),
-            fmt_rate(refcount_churn(
-                RefImpl::LockedCount,
-                threads,
-                churn_iters,
-                4,
-            )),
-            fmt_rate(refcount_churn(RefImpl::Arc, threads, churn_iters, 4)),
-            fmt_rate(refcount_churn(RefImpl::Sharded, threads, churn_iters, 4)),
+            fmt_rate(locked),
+            fmt_rate(atomic),
+            fmt_rate(sharded),
         ]);
+        churn_json.push(format!(
+            "{{\"threads\":{threads},\"locked\":{locked:.0},\"atomic\":{atomic:.0},\
+             \"sharded\":{sharded:.0}}}"
+        ));
     }
     t.note("creation reference + clones + final destroy at count zero (paper's lifetime protocol)");
     out.push_str(&t.render());
@@ -64,14 +81,26 @@ pub fn run(quick: bool) -> String {
         "E5c: adopted call sites, clone+release on the live objects (ops/s)",
         &["threads", "Task (sharded)", "VmObject (sharded)"],
     );
+    let mut adopted_json = Vec::new();
     for threads in contention_sweep() {
-        t.row(&[
-            threads.to_string(),
-            fmt_rate(adopted_ref_storm(true, threads, iters)),
-            fmt_rate(adopted_ref_storm(false, threads, iters)),
-        ]);
+        let task = adopted_ref_storm(true, threads, iters);
+        let vm = adopted_ref_storm(false, threads, iters);
+        t.row(&[threads.to_string(), fmt_rate(task), fmt_rate(vm)]);
+        adopted_json.push(format!(
+            "{{\"threads\":{threads},\"task\":{task:.0},\"vm_object\":{vm:.0}}}"
+        ));
     }
     t.note("the production kernel objects promoted to sharded headers at creation");
     out.push_str(&t.render());
-    out
+
+    let json = format!(
+        "{{\"experiment\":\"E5\",\"mode\":\"{}\",\"iters\":{iters},\
+         \"shared_object_ops_per_sec\":[{}],\"churn_objects_per_sec\":[{}],\
+         \"adopted_ops_per_sec\":[{}]}}",
+        if quick { "quick" } else { "full" },
+        storm_json.join(","),
+        churn_json.join(","),
+        adopted_json.join(","),
+    );
+    (out, json)
 }

@@ -23,6 +23,7 @@ pub mod e15_usage_timing;
 pub mod e16_lockstat;
 pub mod e17_chaos;
 pub mod e18_sim;
+pub mod e19_ipc_storm;
 
 /// One experiment entry: `(id, title, runner)`.
 pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
@@ -115,6 +116,11 @@ pub fn all() -> Vec<Experiment> {
             "E18",
             "Deterministic schedule exploration on simulated N-core hosts (sim layer)",
             e18_sim::run,
+        ),
+        (
+            "E19",
+            "IPC engine storms: sharded namespace + lock-free rings at RPC scale",
+            e19_ipc_storm::run,
         ),
     ]
 }

@@ -1,0 +1,660 @@
+//! The async IPC engine: a thread-per-core RPC dispatch loop.
+//!
+//! This is the production-shaped server core the ROADMAP's north star
+//! asks for, assembled entirely from this crate's own pieces:
+//!
+//! * the **sharded** [`PortNameSpace`] (E2's data-locking prescription
+//!   applied to the name table),
+//! * **lock-free message rings** inside every [`Port`] with batched
+//!   dequeue ([`Port::receive_batch`]),
+//! * the §10 five-step kernel RPC protocol ([`DispatchTable::msg_rpc`])
+//!   with its [`RpcStats`] reference ledger,
+//! * a [`ShardedRefCount`] object ledger audited by
+//!   `drain_audit` at the end of every storm.
+//!
+//! [`Engine::run`] spawns one worker per configured core (via
+//! [`machk_core::sync::host::spawn`], so the whole storm runs — and
+//! replays byte-for-byte — under `machk-sim`) and drives a seeded mixed
+//! workload through the kernel-RPC protocol:
+//!
+//! * **ping** — name → port translation, then an `OP_PING` RPC against
+//!   the port's kernel object (the hot path; every reply feeds the
+//!   worker's digest);
+//! * **task create** — an `OP_TASK_CREATE` RPC whose handler creates a
+//!   task object, wraps it in a port, and publishes it in the
+//!   namespace (taking an object-ledger reference);
+//! * **task terminate / dead-port churn** — an `OP_TASK_TERMINATE` RPC
+//!   whose handler unpublishes the name, disables translation, and
+//!   destroys the port; the worker then fires one more RPC at the dead
+//!   port and *must* observe the typed dead-port error;
+//! * **port transfer** — a translated right is moved through a shared
+//!   transfer port (`try_send` into its lock-free ring); every
+//!   [`EngineConfig::drain_every`] operations the worker batch-drains
+//!   the transfer ring, releasing the rights in bulk.
+//!
+//! Nothing in the loop blocks, so a storm cannot deadlock and — under
+//! the simulated host — always terminates within its configured op
+//! budget. Determinism: each worker's operation stream is a pure
+//! function of `(seed, worker index)`; under `machk-sim` the scheduler
+//! interleaving is also seeded, so [`EngineReport::digest`] is
+//! byte-identical across replays of the same `(seed, cores)` — the E19
+//! determinism probe. (On a real OS host the interleaving is the OS's,
+//! so only per-worker streams, the counters' sums, and the ledgers are
+//! reproducible; the digest is then just a checksum.)
+
+use std::sync::Arc;
+
+use machk_core::sync::host;
+use machk_core::{Kobj, ObjRef, ShardedRefCount};
+
+use crate::message::Message;
+use crate::namespace::{PortName, PortNameSpace};
+use crate::port::{Port, PortError};
+use crate::rpc::{DispatchTable, KernError, RefSemantics, RpcError, RpcStats};
+
+/// Echo RPC against a task object: the engine's hot path.
+pub const OP_PING: u32 = 0x1901;
+/// Create a task object, publish its port in the namespace.
+pub const OP_TASK_CREATE: u32 = 0x1902;
+/// Unpublish + destroy a task port (the dead-port churn source).
+pub const OP_TASK_TERMINATE: u32 = 0x1903;
+
+/// A task object served by the engine (the represented kernel object
+/// of §10). Deliberately stateless: `OP_PING` takes no object lock, so
+/// pings contend only on the shard locks and the port rings — which is
+/// the point of the measurement.
+struct EngineTask;
+type Task = Kobj<EngineTask>;
+
+/// The engine's control object: `OP_TASK_CREATE`/`OP_TASK_TERMINATE`
+/// are RPCs against this server's port. Handlers capture the shared
+/// namespace and ledger; the server object itself stays lock-free.
+struct EngineServer;
+type Server = Kobj<EngineServer>;
+
+/// Storm shape. All fields are plain data so a config embeds in
+/// experiment JSON and replays exactly.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (the "cores" of thread-per-core).
+    pub workers: usize,
+    /// Operations per worker (ops are mixed per `percent_*` below).
+    pub ops_per_worker: usize,
+    /// Namespace shards ([`PortNameSpace::with_shards`]); 1 = the
+    /// single-lock baseline.
+    pub shards: usize,
+    /// Pre-published stable ping targets.
+    pub stable_ports: usize,
+    /// Ring limit of the shared transfer port.
+    pub transfer_limit: usize,
+    /// Batch-drain the transfer ring every this many operations.
+    pub drain_every: usize,
+    /// Workload seed; worker `w` streams from `mix(seed, w)`.
+    pub seed: u64,
+    /// Reference-disposition convention for every RPC.
+    pub semantics: RefSemantics,
+    /// Modeled per-namespace-op critical-section cost (virtual ns,
+    /// `machk-sim` only; see [`PortNameSpace::with_shards_modeled`]).
+    pub ns_cs_work_ns: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            ops_per_worker: 10_000,
+            shards: crate::namespace::DEFAULT_SHARDS,
+            stable_ports: 64,
+            transfer_limit: 256,
+            drain_every: 32,
+            seed: 0x1991_0715,
+            semantics: RefSemantics::Mach30,
+            ns_cs_work_ns: 0,
+        }
+    }
+}
+
+/// What a storm did. Counter sums and both ledgers are reproducible on
+/// any host; `digest` is additionally byte-stable under `machk-sim`
+/// replay (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// RPCs dispatched through [`DispatchTable::msg_rpc`]
+    /// (pings + creates + terminates + dead-port probes).
+    pub rpcs: u64,
+    /// `OP_PING` round-trips.
+    pub pings: u64,
+    /// Tasks created (and published).
+    pub creates: u64,
+    /// Tasks terminated (and unpublished).
+    pub terminates: u64,
+    /// RPCs deliberately fired at dead/unpublished ports that came back
+    /// with the expected typed error.
+    pub dead_hits: u64,
+    /// Rights moved through the transfer ring.
+    pub transfers: u64,
+    /// Transfer sends refused by a full ring (right released locally).
+    pub transfer_full: u64,
+    /// Messages batch-drained from the transfer ring.
+    pub drained: u64,
+    /// Wall/virtual time of the storm, from [`host::now`].
+    pub elapsed_ns: u64,
+    /// Order-insensitive checksum over every reply payload.
+    pub digest: u64,
+    /// `RpcStats` translation ledger balanced at quiescence.
+    pub rpc_balanced: bool,
+    /// Object-ledger audit result (must be 1: only the creation
+    /// reference outlives the storm).
+    pub ledger_total: u64,
+}
+
+impl EngineReport {
+    /// RPC throughput in ops/sec (virtual ops/sec under sim).
+    pub fn rpcs_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.rpcs as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Fold the whole report into one word — the replay fingerprint the
+    /// E19 determinism probe compares byte-for-byte.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for v in [
+            self.rpcs,
+            self.pings,
+            self.creates,
+            self.terminates,
+            self.dead_hits,
+            self.transfers,
+            self.transfer_full,
+            self.drained,
+            self.digest,
+            self.ledger_total,
+            u64::from(self.rpc_balanced),
+        ] {
+            h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// SplitMix64: the workload's per-worker decision stream. Tiny, seeded,
+/// and dependency-free (the engine must not pull in the fault crate).
+struct Mix(u64);
+
+impl Mix {
+    fn new(seed: u64, worker: usize) -> Mix {
+        // Decorrelate workers: golden-ratio offset per worker index.
+        Mix(seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-worker tallies, merged order-insensitively at join.
+#[derive(Default)]
+struct WorkerTally {
+    rpcs: u64,
+    pings: u64,
+    creates: u64,
+    terminates: u64,
+    dead_hits: u64,
+    transfers: u64,
+    transfer_full: u64,
+    drained: u64,
+    digest: u64,
+}
+
+/// The engine: shared state plus the dispatch table. Build one with
+/// [`Engine::new`], fire storms with [`Engine::run`].
+///
+/// # Examples
+///
+/// ```
+/// use machk_ipc::engine::{Engine, EngineConfig};
+///
+/// let report = Engine::new(EngineConfig {
+///     workers: 2,
+///     ops_per_worker: 2_000,
+///     ..EngineConfig::default()
+/// })
+/// .run();
+/// assert!(report.rpc_balanced);
+/// assert_eq!(report.ledger_total, 1, "object ledger balanced");
+/// assert!(report.dead_hits > 0, "dead-port churn exercised");
+/// ```
+pub struct Engine {
+    cfg: EngineConfig,
+    ns: Arc<PortNameSpace>,
+    table: Arc<DispatchTable>,
+    stats: Arc<RpcStats>,
+    ledger: Arc<ShardedRefCount>,
+    server_port: ObjRef<Port>,
+    transfer: ObjRef<Port>,
+    stable: Arc<Vec<PortName>>,
+}
+
+impl Engine {
+    /// Build the engine: publish the stable ping targets, the server
+    /// port, and the transfer port; register the three operations.
+    // lint: ref-transfer — each ledger take is owned by a live engine
+    // object; terminate ops release them and `run`'s teardown audits
+    // the ledger drained to zero (`drain_audit`).
+    pub fn new(cfg: EngineConfig) -> Engine {
+        assert!(cfg.workers >= 1, "at least one worker");
+        assert!(cfg.stable_ports >= 1, "at least one ping target");
+        let ns = Arc::new(PortNameSpace::with_shards_modeled(
+            cfg.shards,
+            cfg.ns_cs_work_ns,
+        ));
+        // The object ledger: one reference per live engine-created
+        // object (stable tasks + churn tasks), audited at storm end.
+        let ledger = Arc::new(ShardedRefCount::named("ipc.engine.ledger"));
+
+        let stable: Vec<PortName> = (0..cfg.stable_ports)
+            .map(|_| {
+                let task = Kobj::create(EngineTask);
+                let port = Port::create();
+                port.set_kernel_object(task.into_dyn());
+                ledger.take();
+                ns.insert(port)
+            })
+            .collect();
+
+        let server = Kobj::create(EngineServer);
+        let server_port = Port::create();
+        server_port.set_kernel_object(server.into_dyn());
+        let transfer = Port::create_with_limit(cfg.transfer_limit.max(1));
+
+        let mut table = DispatchTable::new();
+        table.register::<Task>(OP_PING, |task, msg| {
+            let nonce = msg.int_at(0).ok_or(KernError::InvalidArgument)?;
+            // Stateless echo: no object lock on the hot path (see the
+            // EngineTask docs) and no schedule-dependent inputs, so the
+            // reply is a pure function of the request.
+            if !task.is_active() {
+                return Err(KernError::Deactivated);
+            }
+            Ok(Message::new(OP_PING).with_int(nonce ^ 0xABCD))
+        });
+        {
+            let ns = Arc::clone(&ns);
+            let ledger = Arc::clone(&ledger);
+            table.register::<Server>(OP_TASK_CREATE, move |_srv, msg| {
+                // The id is workload payload: validated, then unused by
+                // the stateless task (see EngineTask).
+                msg.int_at(0).ok_or(KernError::InvalidArgument)?;
+                let task = Kobj::create(EngineTask);
+                let port = Port::create();
+                port.set_kernel_object(task.into_dyn());
+                ledger.take();
+                let name = ns.insert(port);
+                Ok(Message::new(OP_TASK_CREATE).with_int(u64::from(name.0)))
+            });
+        }
+        {
+            let ns = Arc::clone(&ns);
+            let ledger = Arc::clone(&ledger);
+            table.register::<Server>(OP_TASK_TERMINATE, move |_srv, msg| {
+                let raw = msg.int_at(0).ok_or(KernError::InvalidArgument)?;
+                let name = PortName(u32::try_from(raw).map_err(|_| KernError::InvalidArgument)?);
+                let port = ns.remove(name).ok_or(KernError::NotFound)?;
+                // Shutdown order of §10: disable translation first, then
+                // kill the port; release the removed pieces outside any
+                // shard lock (we already are outside it).
+                let obj = port.clear_kernel_object();
+                let _ = port.destroy();
+                drop(obj);
+                drop(port);
+                let final_release = ledger.release();
+                debug_assert!(!final_release, "creation reference outlives the storm");
+                Ok(Message::new(OP_TASK_TERMINATE).with_int(raw))
+            });
+        }
+
+        Engine {
+            cfg,
+            ns,
+            table: Arc::new(table),
+            stats: Arc::new(RpcStats::new()),
+            ledger,
+            server_port,
+            transfer,
+            stable: Arc::new(stable),
+        }
+    }
+
+    /// The namespace the storm publishes into (diagnostics and tests).
+    pub fn namespace(&self) -> &PortNameSpace {
+        &self.ns
+    }
+
+    /// One worker's storm: the seeded op mix described in the module
+    /// docs. Returns its tally for order-insensitive merging.
+    #[allow(clippy::too_many_arguments)]
+    fn worker(
+        index: usize,
+        cfg: &EngineConfig,
+        ns: &PortNameSpace,
+        table: &DispatchTable,
+        stats: &RpcStats,
+        server_port: &ObjRef<Port>,
+        transfer: &ObjRef<Port>,
+        stable: &[PortName],
+    ) -> WorkerTally {
+        let mut mix = Mix::new(cfg.seed, index);
+        let mut t = WorkerTally::default();
+        // Names this worker created and has not yet terminated.
+        let mut churn: Vec<PortName> = Vec::new();
+        let mut batch: Vec<Message> = Vec::with_capacity(cfg.drain_every);
+
+        for op in 0..cfg.ops_per_worker {
+            let roll = mix.next() % 100;
+            if roll < 70 {
+                // Ping: translate a stable name, RPC against its task.
+                let name = stable[(mix.next() as usize) % stable.len()];
+                let port = ns.translate(name).expect("stable names stay published");
+                let nonce = mix.next();
+                let reply = table
+                    .msg_rpc(
+                        &port,
+                        Message::new(OP_PING).with_int(nonce),
+                        cfg.semantics,
+                        stats,
+                    )
+                    .expect("ping against a live task");
+                t.rpcs += 1;
+                t.pings += 1;
+                t.digest = t
+                    .digest
+                    .wrapping_add(reply.int_at(0).unwrap_or(0) ^ nonce.rotate_left(17));
+            } else if roll < 80 {
+                // Task create through the server RPC.
+                let id = mix.next();
+                let reply = table
+                    .msg_rpc(
+                        server_port,
+                        Message::new(OP_TASK_CREATE).with_int(id),
+                        cfg.semantics,
+                        stats,
+                    )
+                    .expect("create against the live server");
+                t.rpcs += 1;
+                t.creates += 1;
+                let name = PortName(reply.int_at(0).expect("create returns the name") as u32);
+                t.digest = t.digest.wrapping_add(u64::from(name.0).rotate_left(29));
+                churn.push(name);
+            } else if roll < 90 {
+                // Terminate one of ours, then probe the dead name/port.
+                if let Some(name) = churn.pop() {
+                    // Keep a right across termination so the dead-port
+                    // probe targets the *destroyed port*, not a recycled
+                    // name.
+                    let doomed = ns.translate(name).expect("our churn name is published");
+                    table
+                        .msg_rpc(
+                            server_port,
+                            Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
+                            cfg.semantics,
+                            stats,
+                        )
+                        .expect("terminate our own task");
+                    t.rpcs += 1;
+                    t.terminates += 1;
+                    // Dead-port churn: the engine must observe the typed
+                    // §10 failure, never a stale translation.
+                    let err = table
+                        .msg_rpc(
+                            &doomed,
+                            Message::new(OP_PING).with_int(1),
+                            cfg.semantics,
+                            stats,
+                        )
+                        .expect_err("RPC at a destroyed port must fail");
+                    t.rpcs += 1;
+                    match err {
+                        RpcError::Port(PortError::NotAnObjectPort)
+                        | RpcError::Port(PortError::Dead)
+                        | RpcError::Operation(KernError::Deactivated) => t.dead_hits += 1,
+                        other => panic!("unexpected dead-port error: {other:?}"),
+                    }
+                    assert!(
+                        ns.translate(name).is_none(),
+                        "terminated name must not resolve"
+                    );
+                    t.digest = t.digest.wrapping_add(u64::from(name.0).rotate_left(43));
+                }
+            } else {
+                // Port transfer: move a translated right through the
+                // shared ring (lock-free MPSC path under concurrency).
+                let name = stable[(mix.next() as usize) % stable.len()];
+                if let Some(right) = ns.translate(name) {
+                    match transfer.try_send(Message::new(0).with_port_right(right)) {
+                        Ok(()) => t.transfers += 1,
+                        Err((_msg, _full)) => t.transfer_full += 1, // right released with _msg
+                    }
+                }
+            }
+
+            if op % cfg.drain_every == cfg.drain_every - 1 {
+                batch.clear();
+                if let Ok(n) = transfer.receive_batch(&mut batch, cfg.drain_every) {
+                    t.drained += n as u64;
+                }
+                batch.clear(); // rights released in bulk
+            }
+        }
+
+        // Quiesce: terminate every task this worker still owns so the
+        // object ledger can balance.
+        for name in churn {
+            table
+                .msg_rpc(
+                    server_port,
+                    Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
+                    cfg.semantics,
+                    stats,
+                )
+                .expect("final terminate");
+            t.rpcs += 1;
+            t.terminates += 1;
+        }
+        t
+    }
+
+    /// Run one storm: spawn the workers, join them, drain the transfer
+    /// ring, tear down the stable ports, audit both ledgers.
+    ///
+    /// Consumes the engine: a storm ends with the namespace drained and
+    /// every engine object released, so the ledgers can be audited —
+    /// build a fresh engine per storm.
+    pub fn run(self) -> EngineReport {
+        let start = host::now();
+        let workers = self.cfg.workers;
+        let mut tallies: Vec<WorkerTally> = Vec::with_capacity(workers);
+
+        if workers == 1 {
+            // Run inline: keeps single-worker storms usable from any
+            // context (no spawn permission needed under exotic hosts).
+            tallies.push(Self::worker(
+                0,
+                &self.cfg,
+                &self.ns,
+                &self.table,
+                &self.stats,
+                &self.server_port,
+                &self.transfer,
+                &self.stable,
+            ));
+        } else {
+            let results: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cfg = self.cfg.clone();
+                    let ns = Arc::clone(&self.ns);
+                    let table = Arc::clone(&self.table);
+                    let stats = Arc::clone(&self.stats);
+                    let server_port = self.server_port.clone();
+                    let transfer = self.transfer.clone();
+                    let stable = Arc::clone(&self.stable);
+                    let slot = Arc::new(std::sync::Mutex::new(None));
+                    let out = Arc::clone(&slot);
+                    let token = host::spawn(move || {
+                        let tally = Self::worker(
+                            w,
+                            &cfg,
+                            &ns,
+                            &table,
+                            &stats,
+                            &server_port,
+                            &transfer,
+                            &stable,
+                        );
+                        *out.lock().unwrap() = Some(tally);
+                    });
+                    (token, slot)
+                })
+                .collect();
+            for (token, slot) in results {
+                host::join(token);
+                tallies.push(
+                    slot.lock()
+                        .unwrap()
+                        .take()
+                        .expect("joined worker left its tally"),
+                );
+            }
+        }
+
+        // Quiesce the transfer ring: release every in-flight right.
+        let mut drained_tail = 0u64;
+        let mut batch = Vec::new();
+        while let Ok(n) = self.transfer.receive_batch(&mut batch, 64) {
+            if n == 0 {
+                break;
+            }
+            drained_tail += n as u64;
+            batch.clear();
+        }
+
+        // Tear down the stable targets through the same terminate path.
+        let mut rpcs_teardown = 0u64;
+        for name in self.stable.iter() {
+            self.table
+                .msg_rpc(
+                    &self.server_port,
+                    Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
+                    self.cfg.semantics,
+                    &self.stats,
+                )
+                .expect("stable teardown");
+            rpcs_teardown += 1;
+        }
+        let elapsed_ns = host::now().saturating_sub(start);
+
+        debug_assert!(self.ns.is_empty(), "storm must drain the namespace");
+        let audit = self.ledger.drain_audit();
+
+        let mut report = EngineReport {
+            rpcs: rpcs_teardown,
+            pings: 0,
+            creates: 0,
+            terminates: 0,
+            dead_hits: 0,
+            transfers: 0,
+            transfer_full: 0,
+            drained: drained_tail,
+            elapsed_ns,
+            digest: 0,
+            rpc_balanced: self.stats.balanced(),
+            ledger_total: audit.total,
+        };
+        for t in tallies {
+            report.rpcs += t.rpcs;
+            report.pings += t.pings;
+            report.creates += t.creates;
+            report.terminates += t.terminates;
+            report.dead_hits += t.dead_hits;
+            report.transfers += t.transfers;
+            report.transfer_full += t.transfer_full;
+            report.drained += t.drained;
+            // Order-insensitive: workers join in index order, but the
+            // fold is commutative anyway.
+            report.digest = report.digest.wrapping_add(t.digest);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(workers: usize, seed: u64) -> EngineConfig {
+        EngineConfig {
+            workers,
+            ops_per_worker: 3_000,
+            stable_ports: 16,
+            seed,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn storm_balances_both_ledgers() {
+        let report = Engine::new(small(4, 7)).run();
+        assert!(report.rpc_balanced, "RpcStats ledger unbalanced");
+        assert_eq!(report.ledger_total, 1, "object ledger unbalanced");
+        assert_eq!(
+            report.creates, report.terminates,
+            "every created task terminated"
+        );
+        assert!(report.pings > 0 && report.dead_hits > 0);
+    }
+
+    #[test]
+    fn single_worker_storm_is_deterministic() {
+        // One worker, OS host: the tally is a pure function of the
+        // seed (no cross-worker interleaving at all).
+        let a = Engine::new(small(1, 42)).run();
+        let b = Engine::new(small(1, 42)).run();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.pings, b.pings);
+        assert_eq!(a.creates, b.creates);
+        let c = Engine::new(small(1, 43)).run();
+        assert_ne!(a.digest, c.digest, "different seed, different storm");
+    }
+
+    #[test]
+    fn counter_sums_are_host_independent() {
+        // Multi-worker on the OS host: interleaving varies, but the
+        // per-worker op streams (and so every counter sum) must not.
+        let a = Engine::new(small(4, 99)).run();
+        let b = Engine::new(small(4, 99)).run();
+        assert_eq!(a.pings, b.pings);
+        assert_eq!(a.creates, b.creates);
+        assert_eq!(a.terminates, b.terminates);
+        assert_eq!(a.dead_hits, b.dead_hits);
+        // (No digest comparison here: allocated names depend on the
+        // OS interleaving; the digest is only replay-stable under
+        // machk-sim, which E19's determinism probe asserts.)
+    }
+
+    #[test]
+    fn single_lock_namespace_still_correct() {
+        let report = Engine::new(EngineConfig {
+            shards: 1,
+            ..small(4, 5)
+        })
+        .run();
+        assert!(report.rpc_balanced);
+        assert_eq!(report.ledger_total, 1);
+    }
+}

@@ -27,16 +27,32 @@
 //! Blocking sends (queue full) and receives (queue empty) use the
 //! section-6 event-wait protocol, making ports a natural integration
 //! test of the locking substrate.
+//!
+//! ## The server core (beyond the paper)
+//!
+//! Three production-shaped layers apply the paper's own scaling
+//! lessons to this substrate (see each module's docs):
+//!
+//! * message queues are lock-free bounded rings with batched dequeue
+//!   ([`port`] module docs);
+//! * the name table is sharded across independently locked,
+//!   lockstat-named shards ([`namespace`] module docs);
+//! * the [`engine`] drives seeded task-create / port-transfer /
+//!   dead-port-churn RPC storms through §10 dispatch with both
+//!   reference ledgers audited — the E19 experiment and the machk-sim
+//!   determinism probe run on it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine;
 pub mod message;
 pub mod namespace;
 pub mod port;
 pub mod portset;
 pub mod rpc;
 
+pub use engine::{Engine, EngineConfig, EngineReport};
 pub use message::{Message, MsgElement};
 pub use namespace::{PortName, PortNameSpace};
 pub use port::{Port, PortError};

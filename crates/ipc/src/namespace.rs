@@ -5,8 +5,32 @@
 //! section-8 reference-cloning cases: "executing code performs a name to
 //! object translation. This effectively clones the object reference held
 //! by the name translation data structures."
+//!
+//! ## Sharding (beyond the paper)
+//!
+//! E2 reproduced the paper's §2 result: funneling independent work
+//! through one lock costs orders of magnitude under contention. The
+//! name table is exactly such a funnel — every translation in a busy
+//! task serializes on one simple lock — so this table applies the
+//! paper's own data-locking prescription to itself: the name space is
+//! hashed across [`PortNameSpace::shards`] independently locked shards.
+//!
+//! * A name's shard is `name % nshards`, so translation and removal
+//!   touch exactly one shard lock.
+//! * Allocation round-robins across shards and hands out names of the
+//!   form `counter * nshards + shard`, so fresh names scatter evenly
+//!   and a name is self-describing (no cross-shard lookup to find it).
+//! * Each shard lock is *named* (`ipc.ns.shardNN`), so E16 lockstat
+//!   attributes contention per shard rather than to one anonymous
+//!   blob; the same names are registered lock classes for the
+//!   machk-lint order graph.
+//!
+//! [`PortNameSpace::with_shards(1)`](PortNameSpace::with_shards) is the
+//! single-lock layout — the E19 experiment benches the two against each
+//! other.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use machk_core::{ObjRef, SimpleLocked};
 
@@ -16,37 +40,188 @@ use crate::port::Port;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortName(pub u32);
 
+/// Hard cap on shards per name space (the size of the static name
+/// table below).
+pub const MAX_SHARDS: usize = 64;
+
+/// Default shard count for [`PortNameSpace::new`] — enough to spread
+/// an 8-way translation storm with no shared line, cheap enough for
+/// idle tasks.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Registered lock-class names, one per shard index, so lockstat and
+/// the static order graph see `ipc.ns.shard00`…`ipc.ns.shard63` rather
+/// than one anonymous class. (Shard locks are leaves: no other lock is
+/// ever taken while one is held.)
+static SHARD_LOCK_NAMES: [&str; MAX_SHARDS] = [
+    "ipc.ns.shard00",
+    "ipc.ns.shard01",
+    "ipc.ns.shard02",
+    "ipc.ns.shard03",
+    "ipc.ns.shard04",
+    "ipc.ns.shard05",
+    "ipc.ns.shard06",
+    "ipc.ns.shard07",
+    "ipc.ns.shard08",
+    "ipc.ns.shard09",
+    "ipc.ns.shard10",
+    "ipc.ns.shard11",
+    "ipc.ns.shard12",
+    "ipc.ns.shard13",
+    "ipc.ns.shard14",
+    "ipc.ns.shard15",
+    "ipc.ns.shard16",
+    "ipc.ns.shard17",
+    "ipc.ns.shard18",
+    "ipc.ns.shard19",
+    "ipc.ns.shard20",
+    "ipc.ns.shard21",
+    "ipc.ns.shard22",
+    "ipc.ns.shard23",
+    "ipc.ns.shard24",
+    "ipc.ns.shard25",
+    "ipc.ns.shard26",
+    "ipc.ns.shard27",
+    "ipc.ns.shard28",
+    "ipc.ns.shard29",
+    "ipc.ns.shard30",
+    "ipc.ns.shard31",
+    "ipc.ns.shard32",
+    "ipc.ns.shard33",
+    "ipc.ns.shard34",
+    "ipc.ns.shard35",
+    "ipc.ns.shard36",
+    "ipc.ns.shard37",
+    "ipc.ns.shard38",
+    "ipc.ns.shard39",
+    "ipc.ns.shard40",
+    "ipc.ns.shard41",
+    "ipc.ns.shard42",
+    "ipc.ns.shard43",
+    "ipc.ns.shard44",
+    "ipc.ns.shard45",
+    "ipc.ns.shard46",
+    "ipc.ns.shard47",
+    "ipc.ns.shard48",
+    "ipc.ns.shard49",
+    "ipc.ns.shard50",
+    "ipc.ns.shard51",
+    "ipc.ns.shard52",
+    "ipc.ns.shard53",
+    "ipc.ns.shard54",
+    "ipc.ns.shard55",
+    "ipc.ns.shard56",
+    "ipc.ns.shard57",
+    "ipc.ns.shard58",
+    "ipc.ns.shard59",
+    "ipc.ns.shard60",
+    "ipc.ns.shard61",
+    "ipc.ns.shard62",
+    "ipc.ns.shard63",
+];
+
+struct Table {
+    map: HashMap<PortName, ObjRef<Port>>,
+    /// Per-shard allocation counter; shard `i` of `n` hands out names
+    /// `counter * n + i` (counter ≥ 1, so name 0 — MACH_PORT_NULL —
+    /// is never allocated).
+    next: u32,
+}
+
+struct Shard {
+    table: SimpleLocked<Table>,
+}
+
 /// The name → right table of one task.
 ///
 /// In Mach this table is what the task's second lock (the "ipc
 /// translation" lock of section 5) protects, so that translations and
 /// task operations proceed in parallel; `machk-kernel`'s task object
 /// embeds one `PortNameSpace` per task for exactly that experiment (E8).
+/// See the module docs for the sharded layout.
 pub struct PortNameSpace {
-    table: SimpleLocked<Table>,
-}
-
-struct Table {
-    map: HashMap<PortName, ObjRef<Port>>,
-    next: u32,
+    shards: Box<[Shard]>,
+    /// Round-robin allocation cursor (advisory; any distribution is
+    /// correct, even spreading is just better).
+    cursor: AtomicUsize,
+    /// Modeled per-operation critical-section cost in virtual
+    /// nanoseconds, charged to the `machk-sim` clock *while the shard
+    /// lock is held*. Zero (the default, and always on a real OS host)
+    /// adds nothing to the hot path; see
+    /// [`PortNameSpace::with_shards_modeled`].
+    cs_work_ns: u64,
 }
 
 impl PortNameSpace {
-    /// An empty name space.
+    /// An empty name space with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> PortNameSpace {
+        PortNameSpace::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty name space hashed across `nshards` (1 ..= [`MAX_SHARDS`])
+    /// independently locked shards. One shard is the single-lock layout.
+    pub fn with_shards(nshards: usize) -> PortNameSpace {
+        PortNameSpace::with_shards_modeled(nshards, 0)
+    }
+
+    /// [`PortNameSpace::with_shards`] plus a modeled critical-section
+    /// cost: every insert/translate/remove charges `cs_work_ns` virtual
+    /// nanoseconds to the simulated host's clock *while holding the
+    /// shard lock*. Under `machk-sim` this makes the table's serialized
+    /// work visible to the virtual clock (the E19 sharded-vs-single
+    /// comparison); on a real OS host the charge is a no-op.
+    pub fn with_shards_modeled(nshards: usize, cs_work_ns: u64) -> PortNameSpace {
+        assert!(
+            (1..=MAX_SHARDS).contains(&nshards),
+            "shard count must be in 1..={MAX_SHARDS}"
+        );
+        let shards: Vec<Shard> = (0..nshards)
+            .map(|i| Shard {
+                table: SimpleLocked::named(
+                    SHARD_LOCK_NAMES[i],
+                    Table {
+                        map: HashMap::new(),
+                        next: 1,
+                    },
+                ),
+            })
+            .collect();
         PortNameSpace {
-            table: SimpleLocked::new(Table {
-                map: HashMap::new(),
-                next: 1, // name 0 reserved as MACH_PORT_NULL
-            }),
+            shards: shards.into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+            cs_work_ns,
         }
+    }
+
+    /// Charge the modeled critical-section cost (caller holds a shard
+    /// lock). Free when unmodeled: no host lookup at all.
+    #[inline]
+    fn charge_cs(&self) {
+        if self.cs_work_ns > 0 {
+            machk_core::sync::host::advance(self.cs_work_ns);
+        }
+    }
+
+    /// Number of shards in this space.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a name lives in.
+    fn shard_of(&self, name: PortName) -> &Shard {
+        &self.shards[name.0 as usize % self.shards.len()]
     }
 
     /// Insert a right, allocating a fresh name. The table now owns the
     /// reference.
     pub fn insert(&self, right: ObjRef<Port>) -> PortName {
-        let mut t = self.table.lock();
-        let name = PortName(t.next);
+        let n = self.shards.len();
+        // relaxed: the cursor only balances allocation across shards;
+        // any interleaving of increments yields correct (unique) names.
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut t = self.shards[i].table.lock();
+        self.charge_cs();
+        let name = PortName(t.next * n as u32 + i as u32);
         t.next += 1;
         t.map.insert(name, right);
         name
@@ -56,22 +231,28 @@ impl PortNameSpace {
     ///
     /// The returned right is a *cloned* reference; the table keeps its
     /// own. Returns `None` for names not in the space (including
-    /// removed ones).
+    /// removed ones). Touches exactly one shard lock.
     pub fn translate(&self, name: PortName) -> Option<ObjRef<Port>> {
-        let t = self.table.lock();
+        let t = self.shard_of(name).table.lock();
+        self.charge_cs();
         t.map.get(&name).cloned()
     }
 
     /// Remove a name, returning the right it held so the caller can
     /// release it outside the table lock.
     pub fn remove(&self, name: PortName) -> Option<ObjRef<Port>> {
-        let mut t = self.table.lock();
+        let mut t = self.shard_of(name).table.lock();
+        self.charge_cs();
         t.map.remove(&name)
     }
 
-    /// Number of live names (diagnostics).
+    /// Number of live names (diagnostics; locks shards one at a time,
+    /// so the sum is a snapshot only if writers are quiesced).
     pub fn len(&self) -> usize {
-        self.table.lock().map.len()
+        self.shards
+            .iter()
+            .map(|s| s.table.lock().map.len())
+            .sum()
     }
 
     /// Whether the space is empty.
@@ -80,10 +261,14 @@ impl PortNameSpace {
     }
 
     /// Remove every right, returning them for release outside the lock
-    /// (used by task termination).
+    /// (used by task termination). Shards are drained one at a time —
+    /// no two shard locks are ever held together.
     pub fn drain(&self) -> Vec<ObjRef<Port>> {
-        let mut t = self.table.lock();
-        let rights: Vec<_> = t.map.drain().map(|(_, r)| r).collect();
+        let mut rights = Vec::new();
+        for s in self.shards.iter() {
+            let mut t = s.table.lock();
+            rights.extend(t.map.drain().map(|(_, r)| r));
+        }
         rights
     }
 }
@@ -98,6 +283,7 @@ impl core::fmt::Debug for PortNameSpace {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("PortNameSpace")
             .field("names", &self.len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
@@ -113,6 +299,22 @@ mod tests {
         let b = ns.insert(Port::create());
         assert_ne!(a, b);
         assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn names_unique_across_every_shard_count() {
+        for nshards in [1, 2, 3, 8, 64] {
+            let ns = PortNameSpace::with_shards(nshards);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..200 {
+                let name = ns.insert(Port::create());
+                assert_ne!(name.0, 0, "MACH_PORT_NULL never allocated");
+                assert!(seen.insert(name), "duplicate name at {nshards} shards");
+            }
+            for name in &seen {
+                assert!(ns.translate(*name).is_some());
+            }
+        }
     }
 
     #[test]

@@ -6,13 +6,29 @@
 //! a simple lock and survives while references exist), and — for kernel
 //! objects exported via ports — it holds the counted object pointer
 //! that port-to-object translation clones (section 10).
-
-use std::collections::VecDeque;
+//!
+//! ## Lock-free message queue (beyond the paper)
+//!
+//! The message queue itself is a bounded lock-free ring
+//! ([`machk_core::sync::ring::MpscRing`]) rather than a `VecDeque` under the
+//! port's simple lock: enqueue and dequeue are compare-exchange slot
+//! claims, so senders on different cores never serialize on the port
+//! lock just to move a message. The port's simple lock still guards the
+//! *rarely written* state (the kernel-object pointer and port-set
+//! membership), preserving the paper's locking story where it matters.
+//!
+//! Blocking keeps the §6 split-wait protocol, with one twist: with no
+//! queue lock, the classic "declare the wait while holding the lock"
+//! window does not exist, so each blocking path re-validates its
+//! condition *after* `assert_wait` and cancels its own wait
+//! (`clear_wait`) if the condition already changed. That re-check is
+//! what makes the lock-free queue race-free against lost wakeups.
 
 use machk_core::{
-    assert_wait, thread_block, thread_block_timeout, thread_wakeup, Deactivated, Event, ObjHeader,
-    ObjRef, Refable, SimpleLocked, WaitResult,
+    assert_wait, clear_wait, current_thread, thread_block, thread_block_timeout, thread_wakeup,
+    Deactivated, Event, ObjHeader, ObjRef, Refable, SimpleLocked, WaitResult,
 };
+use machk_core::sync::ring::MpscRing;
 
 use crate::message::Message;
 
@@ -54,9 +70,9 @@ impl From<Deactivated> for PortError {
     }
 }
 
+/// Rarely-written port state kept under the port's simple lock: the
+/// message queue no longer lives here (see the module docs).
 struct PortState {
-    queue: VecDeque<Message>,
-    limit: usize,
     /// The represented kernel object, if this port exports one.
     /// "If the abstraction is not a port, then the port data structure
     /// contains a pointer to the actual object" — with a reference.
@@ -80,6 +96,8 @@ struct PortState {
 /// ```
 pub struct Port {
     header: ObjHeader,
+    /// Lock-free bounded message ring; see the module docs.
+    queue: MpscRing<Message>,
     state: SimpleLocked<PortState>,
 }
 
@@ -101,9 +119,8 @@ impl Port {
         assert!(limit >= 1, "queue limit must be at least 1");
         ObjRef::new(Port {
             header: ObjHeader::new(),
+            queue: MpscRing::with_limit(limit),
             state: SimpleLocked::new(PortState {
-                queue: VecDeque::new(),
-                limit,
                 kernel_object: None,
                 pset_event: None,
             }),
@@ -118,68 +135,86 @@ impl Port {
         Event::from_addr(self).offset(1)
     }
 
+    fn pset_event(&self) -> Option<Event> {
+        self.state.lock().pset_event
+    }
+
+    /// Post-enqueue wakeups: a receiver (directly or through the port
+    /// set) plus — after a destroy raced with the enqueue — the
+    /// dead-port cleanup described in [`Port::send`].
+    fn after_enqueue(&self) -> Result<(), PortError> {
+        if !self.header.is_active() {
+            // A destroy ran concurrently with our push; its drain may
+            // have missed our message, so drain again ourselves. Pops
+            // are CAS claims, so racing with other cleaners is safe.
+            while self.queue.pop().is_some() {}
+            return Err(PortError::Dead);
+        }
+        thread_wakeup(self.recv_event());
+        if let Some(ev) = self.pset_event() {
+            thread_wakeup(ev);
+        }
+        Ok(())
+    }
+
     /// Send a message, blocking while the queue is full.
     pub fn send(&self, msg: Message) -> Result<(), PortError> {
+        let mut msg = msg;
         loop {
-            {
-                let mut s = self.state.lock();
-                self.header.check_active()?;
-                if s.queue.len() < s.limit {
-                    s.queue.push_back(msg);
-                    let pset = s.pset_event;
-                    drop(s);
-                    thread_wakeup(self.recv_event());
-                    if let Some(ev) = pset {
-                        thread_wakeup(ev);
+            self.header.check_active()?;
+            match self.queue.push(msg) {
+                Ok(()) => return self.after_enqueue(),
+                Err(back) => {
+                    msg = back;
+                    // Queue full: the split-wait protocol — declare the
+                    // wait, then re-validate (there is no lock to close
+                    // the window, so the re-check after assert_wait is
+                    // the §6 discipline's lock-free analogue).
+                    assert_wait(self.send_event(), false);
+                    if self.queue.len() < self.queue.limit() || !self.header.is_active() {
+                        clear_wait(&current_thread(), WaitResult::Awakened);
                     }
-                    return Ok(());
+                    thread_block();
                 }
-                // Queue full: the split-wait protocol — declare, drop the
-                // lock, block.
-                assert_wait(self.send_event(), false);
             }
-            // Re-validate everything after relocking (section 9 rules).
-            thread_block();
         }
     }
 
     /// Send without blocking; returns the message back if the queue is
     /// full.
     pub fn try_send(&self, msg: Message) -> Result<(), (Message, PortError)> {
-        let mut s = self.state.lock();
         if !self.header.is_active() {
-            drop(s);
             return Err((msg, PortError::Dead));
         }
-        if s.queue.len() >= s.limit {
-            drop(s);
-            return Err((msg, PortError::TimedOut));
+        match self.queue.push(msg) {
+            Ok(()) => self.after_enqueue().map_err(|e| {
+                debug_assert_eq!(e, PortError::Dead);
+                // The message was consumed by the dead-port drain; hand
+                // back a tombstone-free error (the rights it carried
+                // were released by the drain, as destroy promises).
+                (Message::new(0), e)
+            }),
+            Err(back) => Err((back, PortError::TimedOut)),
         }
-        s.queue.push_back(msg);
-        let pset = s.pset_event;
-        drop(s);
-        thread_wakeup(self.recv_event());
-        if let Some(ev) = pset {
-            thread_wakeup(ev);
-        }
-        Ok(())
     }
 
     /// Receive a message, blocking while the queue is empty.
     pub fn receive(&self) -> Result<Message, PortError> {
         loop {
-            {
-                let mut s = self.state.lock();
-                if s.pset_event.is_some() {
-                    return Err(PortError::InPortSet);
-                }
-                if let Some(m) = s.queue.pop_front() {
-                    drop(s);
-                    thread_wakeup(self.send_event());
-                    return Ok(m);
-                }
-                self.header.check_active()?;
-                assert_wait(self.recv_event(), false);
+            if self.pset_event().is_some() {
+                return Err(PortError::InPortSet);
+            }
+            if let Some(m) = self.queue.pop() {
+                thread_wakeup(self.send_event());
+                return Ok(m);
+            }
+            self.header.check_active()?;
+            assert_wait(self.recv_event(), false);
+            // Re-validate after declaring the wait: a sender (or a
+            // destroy) that fired its wakeup before our assert_wait
+            // must not strand us.
+            if !self.queue.is_empty() || !self.header.is_active() {
+                clear_wait(&current_thread(), WaitResult::Awakened);
             }
             thread_block();
         }
@@ -189,29 +224,26 @@ impl Port {
     pub fn receive_timeout(&self, timeout: std::time::Duration) -> Result<Message, PortError> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            {
-                let mut s = self.state.lock();
-                if s.pset_event.is_some() {
-                    return Err(PortError::InPortSet);
-                }
-                if let Some(m) = s.queue.pop_front() {
-                    drop(s);
-                    thread_wakeup(self.send_event());
-                    return Ok(m);
-                }
-                self.header.check_active()?;
-                let now = std::time::Instant::now();
-                if now >= deadline {
-                    return Err(PortError::TimedOut);
-                }
-                assert_wait(self.recv_event(), false);
+            if self.pset_event().is_some() {
+                return Err(PortError::InPortSet);
+            }
+            if let Some(m) = self.queue.pop() {
+                thread_wakeup(self.send_event());
+                return Ok(m);
+            }
+            self.header.check_active()?;
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(PortError::TimedOut);
+            }
+            assert_wait(self.recv_event(), false);
+            if !self.queue.is_empty() || !self.header.is_active() {
+                clear_wait(&current_thread(), WaitResult::Awakened);
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if thread_block_timeout(remaining) == WaitResult::TimedOut {
                 // One more pass to drain anything that raced in.
-                let mut s = self.state.lock();
-                if let Some(m) = s.queue.pop_front() {
-                    drop(s);
+                if let Some(m) = self.queue.pop() {
                     thread_wakeup(self.send_event());
                     return Ok(m);
                 }
@@ -222,12 +254,10 @@ impl Port {
 
     /// Receive without blocking.
     pub fn try_receive(&self) -> Result<Message, PortError> {
-        let mut s = self.state.lock();
-        if s.pset_event.is_some() {
+        if self.pset_event().is_some() {
             return Err(PortError::InPortSet);
         }
-        if let Some(m) = s.queue.pop_front() {
-            drop(s);
+        if let Some(m) = self.queue.pop() {
             thread_wakeup(self.send_event());
             return Ok(m);
         }
@@ -235,9 +265,30 @@ impl Port {
         Err(PortError::TimedOut)
     }
 
+    /// Batched non-blocking receive: dequeue up to `max` messages into
+    /// `out` in one sweep, waking blocked senders once. Returns how many
+    /// messages were taken. The dispatch loop's amortized dequeue path.
+    pub fn receive_batch(&self, out: &mut Vec<Message>, max: usize) -> Result<usize, PortError> {
+        if self.pset_event().is_some() {
+            return Err(PortError::InPortSet);
+        }
+        let n = self.queue.pop_batch(out, max);
+        if n > 0 {
+            thread_wakeup(self.send_event());
+            return Ok(n);
+        }
+        self.header.check_active()?;
+        Ok(0)
+    }
+
     /// Messages currently queued (racy; diagnostics).
     pub fn queued(&self) -> usize {
-        self.state.lock().queue.len()
+        self.queue.len()
+    }
+
+    /// The queue's message limit.
+    pub fn queue_limit(&self) -> usize {
+        self.queue.limit()
     }
 
     /// Join a port set (called by `PortSet::add` with the set lock
@@ -260,9 +311,7 @@ impl Port {
     /// Non-blocking dequeue on behalf of the containing port set (the
     /// set, not the port, refuses direct receives).
     pub(crate) fn try_receive_for_set(&self) -> Result<Message, PortError> {
-        let mut s = self.state.lock();
-        if let Some(m) = s.queue.pop_front() {
-            drop(s);
+        if let Some(m) = self.queue.pop() {
             thread_wakeup(self.send_event());
             return Ok(m);
         }
@@ -306,19 +355,23 @@ impl Port {
     /// Destroy the port: deactivate it and wake all blocked senders and
     /// receivers (they observe [`PortError::Dead`]). Queued messages are
     /// drained and dropped (releasing any port rights they carry).
+    ///
+    /// With the lock-free queue the deactivate/drain pair is not atomic;
+    /// a sender whose push lands after our drain observes the dead
+    /// header *after* its enqueue and runs the same drain itself
+    /// (`Port::after_enqueue`), so no message survives destruction.
     pub fn destroy(&self) -> Result<(), PortError> {
-        let drained: Vec<Message> = {
-            // Deactivate under the port lock so no sender that passed the
-            // activity check can enqueue after the drain.
-            let mut s = self.state.lock();
-            self.header.deactivate()?;
-            s.queue.drain(..).collect()
-        };
-        // Dropped outside the lock: messages may carry port rights whose
+        self.header.deactivate()?;
+        // Drain outside any lock: messages may carry port rights whose
         // release could cascade into destruction.
-        drop(drained);
+        while let Some(m) = self.queue.pop() {
+            drop(m);
+        }
         thread_wakeup(self.recv_event());
         thread_wakeup(self.send_event());
+        if let Some(ev) = self.pset_event() {
+            thread_wakeup(ev);
+        }
         Ok(())
     }
 
@@ -332,7 +385,7 @@ impl core::fmt::Debug for Port {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Port")
             .field("alive", &self.is_alive())
-            .field("queued", &self.state.lock().queue.len())
+            .field("queued", &self.queue.len())
             .finish()
     }
 }
@@ -446,6 +499,48 @@ mod tests {
         assert_eq!(ObjRef::ref_count(&inner), 2);
         port.destroy().unwrap();
         assert_eq!(ObjRef::ref_count(&inner), 1, "queued right released");
+    }
+
+    #[test]
+    fn send_racing_destroy_never_leaks_rights() {
+        // Hammer the send-vs-destroy race: whatever interleaving occurs,
+        // every queued right must be released by the time both sides are
+        // done (destroy's drain or the sender's dead-port cleanup).
+        for _ in 0..200 {
+            let inner = Port::create();
+            let port = Port::create();
+            std::thread::scope(|s| {
+                let p = &port;
+                let i = &inner;
+                s.spawn(move || {
+                    let _ = p.send(Message::new(0).with_port_right(i.clone()));
+                });
+                s.spawn(move || {
+                    let _ = p.destroy();
+                });
+            });
+            let _ = port.destroy();
+            assert_eq!(ObjRef::ref_count(&inner), 1, "right must not leak");
+        }
+    }
+
+    #[test]
+    fn receive_batch_drains_in_order() {
+        let port = Port::create();
+        for i in 0..10 {
+            port.send(Message::new(i)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(port.receive_batch(&mut out, 4).unwrap(), 4);
+        assert_eq!(port.receive_batch(&mut out, 100).unwrap(), 6);
+        let ids: Vec<u32> = out.iter().map(|m| m.id()).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+        assert_eq!(port.receive_batch(&mut out, 1).unwrap(), 0);
+        port.destroy().unwrap();
+        assert_eq!(
+            port.receive_batch(&mut out, 1).unwrap_err(),
+            PortError::Dead
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! effectively moves to the set.
 
 use machk_core::{
-    assert_wait, thread_block, thread_block_timeout, Event, ObjHeader, ObjRef, Refable,
-    SimpleLocked, WaitResult,
+    assert_wait, clear_wait, current_thread, thread_block, thread_block_timeout, Event, ObjHeader,
+    ObjRef, Refable, SimpleLocked, WaitResult,
 };
 
 use crate::message::Message;
@@ -134,10 +134,16 @@ impl PortSet {
                 }
                 let s = self.state.lock();
                 self.header.check_active()?;
-                // Declare before dropping the set lock: a send landing
-                // after this wakes us (split-wait protocol).
+                // Declare before dropping the set lock (split-wait
+                // protocol) — then re-validate: member queues are
+                // lock-free, so a send may have enqueued and fired its
+                // set wakeup between our poll and the assert_wait.
                 assert_wait(self.event(), false);
+                let pending = s.members.iter().any(|m| m.queued() > 0 || !m.is_alive());
                 drop(s);
+                if pending {
+                    clear_wait(&current_thread(), WaitResult::Awakened);
+                }
             }
             thread_block();
         }
@@ -160,7 +166,11 @@ impl PortSet {
                     return Err(PortError::TimedOut);
                 }
                 assert_wait(self.event(), false);
+                let pending = s.members.iter().any(|m| m.queued() > 0 || !m.is_alive());
                 drop(s);
+                if pending {
+                    clear_wait(&current_thread(), WaitResult::Awakened);
+                }
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if thread_block_timeout(remaining) == WaitResult::TimedOut {

@@ -93,6 +93,7 @@ pub mod host;
 pub mod policy;
 pub mod queued;
 pub mod raw;
+pub mod ring;
 pub mod seq;
 pub mod simple;
 pub mod simple_locked;
@@ -102,6 +103,7 @@ pub use deadline::{JitterBackoff, LockTimeout};
 pub use host::{Host, JoinToken, SpinSite, ThreadToken};
 pub use policy::{AdaptiveSpin, Backoff, SpinPolicy};
 pub use raw::{RawSimpleLock, SimpleGuard};
+pub use ring::MpscRing;
 pub use seq::{SeqCell, SeqWriter};
 pub use simple::{simple_lock, simple_lock_init, simple_lock_try, simple_unlock};
 pub use simple_locked::{SimpleLocked, SimpleLockedGuard};
