@@ -251,6 +251,7 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
         assert!(cfg.workers >= 1, "at least one worker");
         assert!(cfg.stable_ports >= 1, "at least one ping target");
+        assert!(cfg.drain_every >= 1, "drain_every must be at least 1");
         let ns = Arc::new(PortNameSpace::with_shards_modeled(
             cfg.shards,
             cfg.ns_cs_work_ns,
@@ -439,7 +440,10 @@ impl Engine {
                 if let Some(right) = ns.translate(name) {
                     match transfer.try_send(Message::new(0).with_port_right(right)) {
                         Ok(()) => t.transfers += 1,
-                        Err((_msg, _full)) => t.transfer_full += 1, // right released with _msg
+                        // Full ring: right released with the returned
+                        // message. (The transfer port is never destroyed
+                        // mid-storm, so the None case cannot occur here.)
+                        Err((_msg, _full)) => t.transfer_full += 1,
                     }
                 }
             }

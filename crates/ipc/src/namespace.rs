@@ -221,8 +221,19 @@ impl PortNameSpace {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
         let mut t = self.shards[i].table.lock();
         self.charge_cs();
-        let name = PortName(t.next * n as u32 + i as u32);
-        t.next += 1;
+        // Checked: after ~2^32/n allocations on one shard the name
+        // space is genuinely exhausted — fail loudly rather than wrap
+        // in release and mint duplicate names over live rights.
+        let name = PortName(
+            t.next
+                .checked_mul(n as u32)
+                .and_then(|v| v.checked_add(i as u32))
+                .expect("port name space exhausted on this shard"),
+        );
+        t.next = t
+            .next
+            .checked_add(1)
+            .expect("port name space exhausted on this shard");
         t.map.insert(name, right);
         name
     }
@@ -315,6 +326,16 @@ mod tests {
                 assert!(ns.translate(*name).is_some());
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "name space exhausted")]
+    fn name_exhaustion_panics_instead_of_wrapping() {
+        let ns = PortNameSpace::with_shards(2);
+        for s in ns.shards.iter() {
+            s.table.lock().next = u32::MAX;
+        }
+        let _ = ns.insert(Port::create());
     }
 
     #[test]

@@ -143,6 +143,16 @@ impl Port {
     /// set) plus — after a destroy raced with the enqueue — the
     /// dead-port cleanup described in [`Port::send`].
     fn after_enqueue(&self) -> Result<(), PortError> {
+        // SeqCst fence, pairing with the one in `destroy` between
+        // deactivate and drain. In the single total order of SeqCst
+        // fences either ours comes first — then our push is visible to
+        // destroy's drain — or destroy's comes first — then the load
+        // below observes the dead flag and we drain ourselves. Either
+        // way no message survives destruction. Without the fences a
+        // store→load reordering (legal even on x86: the push sits in
+        // the store buffer while `active` is read early) lets the push
+        // miss destroy's drain while we still read `active == true`.
+        core::sync::atomic::fence(core::sync::atomic::Ordering::SeqCst);
         if !self.header.is_active() {
             // A destroy ran concurrently with our push; its drain may
             // have missed our message, so drain again ourselves. Pops
@@ -180,21 +190,26 @@ impl Port {
         }
     }
 
-    /// Send without blocking; returns the message back if the queue is
-    /// full.
-    pub fn try_send(&self, msg: Message) -> Result<(), (Message, PortError)> {
+    /// Send without blocking.
+    ///
+    /// On failure the error carries the undelivered message back when
+    /// it still exists: `Some(msg)` for a full queue
+    /// ([`PortError::TimedOut`]) or a port observed dead before the
+    /// enqueue. `None` means a destroy raced with the enqueue and the
+    /// dead-port drain already consumed the message — its payload is
+    /// gone and any rights it carried were released, exactly as
+    /// [`Port::destroy`] promises for queued messages.
+    pub fn try_send(&self, msg: Message) -> Result<(), (Option<Message>, PortError)> {
         if !self.header.is_active() {
-            return Err((msg, PortError::Dead));
+            return Err((Some(msg), PortError::Dead));
         }
         match self.queue.push(msg) {
             Ok(()) => self.after_enqueue().map_err(|e| {
                 debug_assert_eq!(e, PortError::Dead);
-                // The message was consumed by the dead-port drain; hand
-                // back a tombstone-free error (the rights it carried
-                // were released by the drain, as destroy promises).
-                (Message::new(0), e)
+                // Consumed by the dead-port drain: nothing to hand back.
+                (None, e)
             }),
-            Err(back) => Err((back, PortError::TimedOut)),
+            Err(back) => Err((Some(back), PortError::TimedOut)),
         }
     }
 
@@ -362,6 +377,11 @@ impl Port {
     /// (`Port::after_enqueue`), so no message survives destruction.
     pub fn destroy(&self) -> Result<(), PortError> {
         self.header.deactivate()?;
+        // SeqCst fence, pairing with the one in `after_enqueue` (see
+        // there): orders the deactivation store against concurrent
+        // push/is_active pairs so the drain below and the senders'
+        // self-drains together cover every interleaving.
+        core::sync::atomic::fence(core::sync::atomic::Ordering::SeqCst);
         // Drain outside any lock: messages may carry port rights whose
         // release could cascade into destruction.
         while let Some(m) = self.queue.pop() {
@@ -447,7 +467,18 @@ mod tests {
         port.send(Message::new(0)).unwrap();
         let (msg, err) = port.try_send(Message::new(1).with_int(9)).unwrap_err();
         assert_eq!(err, PortError::TimedOut);
+        let msg = msg.expect("full-queue failure returns the message");
         assert_eq!(msg.int_at(0), Some(9), "message returned intact");
+    }
+
+    #[test]
+    fn try_send_on_dead_port_returns_message() {
+        let port = Port::create();
+        port.destroy().unwrap();
+        let (msg, err) = port.try_send(Message::new(3).with_int(7)).unwrap_err();
+        assert_eq!(err, PortError::Dead);
+        let msg = msg.expect("dead observed before enqueue: message intact");
+        assert_eq!(msg.int_at(0), Some(7));
     }
 
     #[test]
