@@ -96,5 +96,62 @@ fn tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, contention_scaling, uncontended_cost, tracing_overhead);
+/// Dispatch fan-out cost as subscribers accumulate: the same traced
+/// counter loop at 0, 1 (stats), and 3 (stats + ndjson + flame)
+/// subscribers. Must be listed FIRST in the group macro — installation
+/// is forever, so the 0-subscriber case is only measurable before
+/// anything in this process emits with auto-install still on.
+#[cfg(feature = "obs")]
+fn multi_subscriber(c: &mut Criterion) {
+    static LOCK: RawSimpleLock = RawSimpleLock::named_with_policy(
+        "bench.queued.subs",
+        SpinPolicy::TasThenTtas,
+        Backoff::NONE,
+    );
+    machk_obs::set_auto_install(false);
+    assert_eq!(
+        machk_obs::subscriber::subscriber_count(),
+        0,
+        "another bench emitted first; subs0 would not measure the empty dispatcher"
+    );
+    let mut g = c.benchmark_group("queued_lock_subscribers");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("subs0", threads), &threads, |b, &t| {
+            b.iter(|| counter_on(&LOCK, t, 50_000));
+        });
+    }
+    assert!(machk_obs::subscriber::install_default());
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("subs1", threads), &threads, |b, &t| {
+            b.iter(|| counter_on(&LOCK, t, 50_000));
+        });
+    }
+    let (ndjson, _sink) = machk_obs::NdjsonSubscriber::to_shared_vec(4_096);
+    machk_obs::install(Box::new(ndjson))
+        .ok()
+        .expect("subscriber slots exhausted");
+    machk_obs::install(Box::new(machk_obs::FlameSubscriber::new()))
+        .ok()
+        .expect("subscriber slots exhausted");
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("subs3", threads), &threads, |b, &t| {
+            b.iter(|| counter_on(&LOCK, t, 50_000));
+        });
+    }
+    g.finish();
+}
+
+/// Without obs there is no dispatcher to scale; keep the group list
+/// identical across builds.
+#[cfg(not(feature = "obs"))]
+fn multi_subscriber(_c: &mut Criterion) {}
+
+criterion_group!(
+    benches,
+    multi_subscriber,
+    contention_scaling,
+    uncontended_cost,
+    tracing_overhead
+);
 criterion_main!(benches);

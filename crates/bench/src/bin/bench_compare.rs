@@ -1,0 +1,42 @@
+//! `bench-compare` — gate a fresh artifact run against the committed
+//! baselines.
+//!
+//! ```text
+//! bench-compare --baselines bench/baselines --fresh target/bench-artifacts
+//! ```
+//!
+//! Exit status: 0 when every gated metric holds its baseline within
+//! the baseline's own tolerance, 1 on any regression (or missing
+//! artifact / unparseable envelope), 2 on usage errors. The rules
+//! live in `machk_bench::compare`; the envelope schema in
+//! `machk_bench::report` and DESIGN.md.
+
+use std::path::PathBuf;
+
+fn arg_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baselines), Some(fresh)) =
+        (arg_value(&args, "--baselines"), arg_value(&args, "--fresh"))
+    else {
+        eprintln!("usage: bench-compare --baselines DIR --fresh DIR");
+        std::process::exit(2);
+    };
+
+    match machk_bench::compare::compare_dirs(&baselines, &fresh) {
+        Ok(result) => {
+            print!("{}", result.render());
+            std::process::exit(if result.passed() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The experiments binary: regenerate every table of the reproduction.
 //!
 //! The source paper has no tables or figures of its own (it is a
-//! design/experience paper); DESIGN.md defines experiments E1–E15, one
+//! design/experience paper); DESIGN.md defines experiments E1–E19, one
 //! per mechanism or claim in the text, and this binary prints them.
 //!
 //! Usage:
@@ -21,11 +21,14 @@
 //! determinism-probe runs plus four chaos scenarios). Requires a build
 //! with `--features fault`.
 //!
-//! `--artifacts DIR` additionally writes machine-readable summaries for
-//! the campaign experiments (`BENCH_E1.json`, `BENCH_E5.json`,
-//! `BENCH_E16.json` under `--features obs`, `BENCH_E17.json`,
-//! `BENCH_E18.json`, `BENCH_E19.json`) into `DIR` — the files CI
-//! uploads as run artifacts.
+//! `--artifacts DIR` additionally writes each experiment's
+//! `machk-bench/v1` envelope as `BENCH_E01.json` … `BENCH_E19.json`
+//! into `DIR` — the files CI uploads as run artifacts and diffs against
+//! `bench/baselines/` with `bench-compare`. Feature-gated experiments
+//! (E16 obs, E17 fault, E18/E19-sim sim) still emit envelopes when the
+//! feature is off, carrying an `*_enabled = 0` exact metric so compare
+//! flags a misbuilt trajectory run. Under `--features obs` the E16
+//! exporter outputs (`E16.ndjson`, `E16.folded`) are written too.
 //!
 //! E18 (schedule exploration on simulated hosts) requires a build with
 //! `--features sim`; `--sim-seed N` overrides its base scheduler seed
@@ -91,49 +94,26 @@ fn main() {
     );
 
     let mut ran = 0;
-    for (id, title, run) in experiments::all() {
+    for (id, title, run_report) in experiments::all() {
         if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
             continue;
         }
         println!("\n################ {id}: {title}");
         let started = std::time::Instant::now();
-        let table = match id {
-            // The campaign experiments can also emit JSON artifacts.
-            "E1" => {
-                let (table, json) = experiments::e01_simple_lock::run_report(quick);
-                write_artifact(artifacts.as_deref(), "BENCH_E1.json", &json);
-                table
-            }
-            "E5" => {
-                let (table, json) = experiments::e05_refcount::run_report(quick);
-                write_artifact(artifacts.as_deref(), "BENCH_E5.json", &json);
-                table
-            }
-            "E16" => {
-                let (table, json) = experiments::e16_lockstat::run_report(quick);
-                if let Some(json) = json {
-                    write_artifact(artifacts.as_deref(), "BENCH_E16.json", &json);
-                }
-                table
-            }
+        // E17/E18 honour their CLI overrides; everything else runs the
+        // uniform run_report entry from the experiment table.
+        let (table, json) = match id {
             "E17" => {
                 let n = seeds.unwrap_or(if quick { 5 } else { 200 });
-                let (table, json) = experiments::e17_chaos::run_report(n);
-                write_artifact(artifacts.as_deref(), "BENCH_E17.json", &json);
-                table
+                experiments::e17_chaos::run_report(n)
             }
-            "E18" => {
-                let (table, json) = experiments::e18_sim::run_report_seeded(quick, sim_seed);
-                write_artifact(artifacts.as_deref(), "BENCH_E18.json", &json);
-                table
-            }
-            "E19" => {
-                let (table, json) = experiments::e19_ipc_storm::run_report(quick);
-                write_artifact(artifacts.as_deref(), "BENCH_E19.json", &json);
-                table
-            }
-            _ => run(quick),
+            "E18" => experiments::e18_sim::run_report_seeded(quick, sim_seed),
+            _ => run_report(quick),
         };
+        write_artifact(artifacts.as_deref(), &artifact_name(id), &json);
+        if id == "E16" {
+            write_e16_exporter_artifacts(artifacts.as_deref());
+        }
         print!("{table}");
         println!("  [{id} completed in {:?}]", started.elapsed());
         ran += 1;
@@ -142,6 +122,17 @@ fn main() {
         eprintln!("no experiment matched {wanted:?}; known ids are E1..E19 and `lockstat`");
         std::process::exit(2);
     }
+}
+
+/// Zero-padded artifact name for an experiment id: `E7` →
+/// `BENCH_E07.json`. Padding keeps directory listings and the
+/// bench-compare pairing in experiment order.
+fn artifact_name(id: &str) -> String {
+    let n: u32 = id
+        .trim_start_matches(['E', 'e'])
+        .parse()
+        .unwrap_or_else(|_| panic!("experiment id {id} is not E<number>"));
+    format!("BENCH_E{n:02}.json")
 }
 
 /// Write one experiment's JSON summary into the `--artifacts` directory
@@ -153,6 +144,28 @@ fn write_artifact(dir: Option<&str>, name: &str, json: &str) {
     std::fs::write(&path, format!("{json}\n")).expect("write artifact");
     println!("  [artifact: {}]", path.display());
 }
+
+/// After E16 has run with obs, its exporter subscribers hold the
+/// NDJSON backlog (whatever arrived after the in-run drain) and the
+/// cumulative flamegraph rollup; write both next to the envelopes.
+#[cfg(feature = "obs")]
+fn write_e16_exporter_artifacts(dir: Option<&str>) {
+    if dir.is_none() {
+        return;
+    }
+    let (ndjson, buf, flame) = experiments::e16_lockstat::exporters();
+    ndjson.drain().expect("ndjson drain failed");
+    let text = String::from_utf8(buf.lock().unwrap().clone()).expect("ndjson not UTF-8");
+    write_artifact(dir, "E16.ndjson", text.trim_end());
+    write_artifact(
+        dir,
+        "E16.folded",
+        flame.render_folded(machk_obs::FlameMetric::Wait).trim_end(),
+    );
+}
+
+#[cfg(not(feature = "obs"))]
+fn write_e16_exporter_artifacts(_dir: Option<&str>) {}
 
 /// The `lockstat` subcommand: drive the E16 workload, print the report.
 #[cfg(feature = "obs")]

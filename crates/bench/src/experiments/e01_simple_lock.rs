@@ -18,6 +18,7 @@
 
 use machk_core::{Backoff, SpinPolicy};
 
+use crate::report::{BenchReport, Dir};
 use crate::util::{contention_sweep, fmt_rate, thread_sweep, Table};
 use crate::workloads::{simple_lock_counter, simple_lock_first_try_rate};
 
@@ -37,9 +38,10 @@ pub fn run(quick: bool) -> String {
 }
 
 /// Run E1; returns the rendered tables plus the JSON artifact body
-/// (`BENCH_E1.json`).
+/// (`BENCH_E01.json`, `machk-bench/v1` envelope).
 pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 20_000 } else { 400_000 };
+    let mut report = BenchReport::new("E01", "Simple lock acquisition policies (paper §2)", quick);
     let mut out = String::new();
 
     let mut t = Table::new(
@@ -62,6 +64,11 @@ pub fn run_report(quick: bool) -> (String, String) {
             let rate = simple_lock_counter(policy, backoff, threads, iters);
             cells.push(fmt_rate(rate));
             rates.push(format!("\"{name}\":{rate:.0}"));
+            // Host throughput: trajectory-only (CI runners vary), at
+            // the sweep's host-independent anchor points.
+            if threads == 1 || threads == 8 {
+                report.info(&format!("{name}_ops_per_sec_{threads}t"), rate, "ops/s");
+            }
         }
         t.row(&cells);
         sweep_json.push(format!("{{\"threads\":{threads},{}}}", rates.join(",")));
@@ -79,16 +86,20 @@ pub fn run_report(quick: bool) -> (String, String) {
         let r = simple_lock_first_try_rate(SpinPolicy::TasThenTtas, threads, iters / 4);
         t.row(&[threads.to_string(), format!("{:.3}", r)]);
         first_try_json.push(format!("{{\"threads\":{threads},\"rate\":{r:.4}}}"));
+        if threads == 1 {
+            // The paper's claim at its cleanest: uncontended, the lock
+            // is taken on the first try essentially always. Host- and
+            // mode-independent, so it gates.
+            report.metric("first_try_rate_1t", r, "ratio", Dir::Higher, 1.25);
+        }
     }
     t.note("paper: 'most locks in a well designed system are acquired on the first attempt'");
     out.push_str(&t.render());
 
-    let json = format!(
-        "{{\"experiment\":\"E1\",\"mode\":\"{}\",\"iters\":{iters},\
-         \"throughput_ops_per_sec\":[{}],\"first_try_rate\":[{}]}}",
-        if quick { "quick" } else { "full" },
+    report.extra(&format!(
+        "{{\"iters\":{iters},\"throughput_ops_per_sec\":[{}],\"first_try_rate\":[{}]}}",
         sweep_json.join(","),
         first_try_json.join(","),
-    );
-    (out, json)
+    ));
+    (out, report.render())
 }

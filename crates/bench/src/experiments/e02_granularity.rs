@@ -16,13 +16,21 @@
 //! measured in virtual time on any box — and asserted: ≥ 4× at 8
 //! simulated cores, gone (≤ 2×) at 1.
 
+use crate::report::BenchReport;
 use crate::util::{fmt_rate, thread_sweep, Table};
 use crate::workloads::{granularity_bank, Granularity};
 
 /// Run E2 and render its table.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E2; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E02.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 5_000 } else { 100_000 };
     let nstructs = 64;
+    let mut report = BenchReport::new("E02", "Locking granularity: code vs data (paper §2)", quick);
     let mut out = String::new();
     let mut t = Table::new(
         "E2: ops/s on a bank of 64 independent structures",
@@ -45,17 +53,21 @@ pub fn run(quick: bool) -> String {
             fmt_rate(fine),
             format!("{:.1}x", fine / global),
         ]);
+        if threads == 4 {
+            report.info("global_lock_ops_per_sec_4t", global, "ops/s");
+            report.info("per_structure_ops_per_sec_4t", fine, "ops/s");
+        }
     }
     t.note("paper: locks on code serialize the kernel; locks on data let it run in parallel with itself");
     out.push_str(&t.render());
-    out.push_str(&sim_section(quick));
-    out
+    out.push_str(&sim_section(quick, &mut report));
+    (out, report.render())
 }
 
 /// Global-vs-fine on simulated 1- and 8-core hosts: the multi-core
 /// separation measured in virtual time (no host-CPU caveat).
 #[cfg(feature = "sim")]
-fn sim_section(quick: bool) -> String {
+fn sim_section(quick: bool, report: &mut BenchReport) -> String {
     use std::sync::Arc;
 
     use machk_core::sync::host;
@@ -126,6 +138,11 @@ fn sim_section(quick: bool) -> String {
     }
     let (_, r1) = ratios[0];
     let (_, r8) = ratios[1];
+    // Virtual-time ratios are deterministic given (seed, cores), so
+    // they gate: the multi-core separation must hold, and must remain
+    // absent where there is no parallelism to win.
+    report.metric("sim_separation_8c", r8, "ratio", crate::report::Dir::Higher, 1.6);
+    report.metric("sim_separation_1c", r1, "ratio", crate::report::Dir::Lower, 1.6);
     assert!(
         r8 >= 4.0,
         "data locking must beat the global lock by >=4x on 8 simulated cores (got {r8:.2}x)"
@@ -142,7 +159,7 @@ fn sim_section(quick: bool) -> String {
 
 /// Without the sim feature the simulated half is compiled out.
 #[cfg(not(feature = "sim"))]
-fn sim_section(_quick: bool) -> String {
+fn sim_section(_quick: bool, _report: &mut BenchReport) -> String {
     let mut t = Table::new(
         "E2-sim: global vs per-structure on simulated hosts",
         &["status"],

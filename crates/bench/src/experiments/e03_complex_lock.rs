@@ -9,12 +9,24 @@
 
 use std::time::Duration;
 
+use crate::report::BenchReport;
 use crate::util::{fmt_rate, thread_sweep, Table};
 use crate::workloads::{complex_lock_mix, writer_latency_under_readers};
 
 /// Run E3 and render its tables.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E3; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E03.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 10_000 } else { 200_000 };
+    let mut report = BenchReport::new(
+        "E03",
+        "Complex lock: reader parallelism & writers priority (paper §4)",
+        quick,
+    );
     let mut out = String::new();
 
     let mut t = Table::new(
@@ -30,7 +42,11 @@ pub fn run(quick: bool) -> String {
     for threads in thread_sweep() {
         let mut cells = vec![threads.to_string()];
         for pct in [0, 1, 10, 50] {
-            cells.push(fmt_rate(complex_lock_mix(pct, threads, iters)));
+            let rate = complex_lock_mix(pct, threads, iters);
+            cells.push(fmt_rate(rate));
+            if threads == 4 && (pct == 0 || pct == 50) {
+                report.info(&format!("mix_w{pct}_ops_per_sec_4t"), rate, "ops/s");
+            }
         }
         t.row(&cells);
     }
@@ -53,8 +69,13 @@ pub fn run(quick: bool) -> String {
             format!("{mean:.1}"),
             format!("{worst:.1}"),
         ]);
+        if threads == 4 {
+            // Starvation-freedom shows as a *bounded* worst case, but
+            // the bound itself is host scheduling — trajectory only.
+            report.info("writer_worst_wait_us_4t", worst, "us");
+        }
     }
     t.note("writers priority: 'readers may not be added ... in the presence of an outstanding write request'");
     out.push_str(&t.render());
-    out
+    (out, report.render())
 }

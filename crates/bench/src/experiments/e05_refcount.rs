@@ -15,6 +15,7 @@
 //! confirms the two production call sites that adopted the sharded
 //! header (`Task`, `VmObject`) behave like the microbenchmark.
 
+use crate::report::BenchReport;
 use crate::util::{contention_sweep, fmt_rate, thread_sweep, Table};
 use crate::workloads::{adopted_ref_storm, refcount_churn, refcount_storm, RefImpl};
 
@@ -24,9 +25,10 @@ pub fn run(quick: bool) -> String {
 }
 
 /// Run E5; returns the rendered tables plus the JSON artifact body
-/// (`BENCH_E5.json`).
+/// (`BENCH_E05.json`, `machk-bench/v1` envelope).
 pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 20_000 } else { 400_000 };
+    let mut report = BenchReport::new("E05", "Reference counting cost (paper §8)", quick);
     let mut out = String::new();
 
     let mut t = Table::new(
@@ -48,6 +50,11 @@ pub fn run_report(quick: bool) -> (String, String) {
             "{{\"threads\":{threads},\"locked\":{locked:.0},\"atomic\":{atomic:.0},\
              \"sharded\":{sharded:.0}}}"
         ));
+        if threads == 1 || threads == 8 {
+            report.info(&format!("locked_ops_per_sec_{threads}t"), locked, "ops/s");
+            report.info(&format!("atomic_ops_per_sec_{threads}t"), atomic, "ops/s");
+            report.info(&format!("sharded_ops_per_sec_{threads}t"), sharded, "ops/s");
+        }
     }
     t.note("Mach increments under the object's simple lock; Arc uses one atomic RMW");
     t.note("sharded stripes the count per thread; drain-to-exact keeps destruction exact");
@@ -93,14 +100,12 @@ pub fn run_report(quick: bool) -> (String, String) {
     t.note("the production kernel objects promoted to sharded headers at creation");
     out.push_str(&t.render());
 
-    let json = format!(
-        "{{\"experiment\":\"E5\",\"mode\":\"{}\",\"iters\":{iters},\
-         \"shared_object_ops_per_sec\":[{}],\"churn_objects_per_sec\":[{}],\
-         \"adopted_ops_per_sec\":[{}]}}",
-        if quick { "quick" } else { "full" },
+    report.extra(&format!(
+        "{{\"iters\":{iters},\"shared_object_ops_per_sec\":[{}],\
+         \"churn_objects_per_sec\":[{}],\"adopted_ops_per_sec\":[{}]}}",
         storm_json.join(","),
         churn_json.join(","),
         adopted_json.join(","),
-    );
-    (out, json)
+    ));
+    (out, report.render())
 }

@@ -22,12 +22,20 @@ use machk_core::{
     assert_wait, thread_block_timeout, thread_wakeup, Event, SimpleLocked, WaitResult,
 };
 
+use crate::report::BenchReport;
 use crate::util::{fmt_rate, Table};
 use crate::workloads::{condvar_handoff, event_handoff};
 
 /// Run E6 and render its tables.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E6; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E06.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 2_000 } else { 50_000 };
+    let mut report = BenchReport::new("E06", "Event wait: the split-wait protocol (paper §6)", quick);
     let mut out = String::new();
 
     let mut t = Table::new(
@@ -35,11 +43,13 @@ pub fn run(quick: bool) -> String {
         &["pairs", "event-wait (Mach)", "condvar (host)"],
     );
     for pairs in [1usize, 2, 4] {
-        t.row(&[
-            pairs.to_string(),
-            fmt_rate(event_handoff(pairs, iters)),
-            fmt_rate(condvar_handoff(pairs, iters)),
-        ]);
+        let mach = event_handoff(pairs, iters);
+        let host = condvar_handoff(pairs, iters);
+        t.row(&[pairs.to_string(), fmt_rate(mach), fmt_rate(host)]);
+        if pairs == 1 {
+            report.info("event_handoffs_per_sec_1pair", mach, "ops/s");
+            report.info("condvar_handoffs_per_sec_1pair", host, "ops/s");
+        }
     }
     t.note("the Mach protocol is assert_wait -> release locks -> thread_block");
     out.push_str(&t.render());
@@ -63,7 +73,11 @@ pub fn run(quick: bool) -> String {
     t.note("a 'lost' wakeup = the waiter needed its bounded-block timeout to notice the event");
     assert_eq!(split_lost, 0, "the split protocol must never lose a wakeup");
     out.push_str(&t.render());
-    out
+    // The paper's §6 claim is structural: with the declaration made
+    // before the locks drop, no schedule can lose a wakeup.
+    report.exact("split_lost_wakeups", split_lost as f64, "count");
+    report.info("racy_lost_wakeups", racy_lost as f64, "count");
+    (out, report.render())
 }
 
 /// One flag cell per protocol trial.

@@ -23,10 +23,17 @@ use std::time::Duration;
 use machk_core::RawSimpleLock;
 use machk_intr::{barrier_synchronize, spl_raise, spl_restore, BarrierOutcome, Machine, SplLevel};
 
+use crate::report::BenchReport;
 use crate::util::Table;
 
 /// Run E7 and render its table.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E7; returns the rendered table plus the JSON artifact body
+/// (`BENCH_E07.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let limit = if quick {
         Duration::from_millis(200)
     } else {
@@ -51,7 +58,20 @@ pub fn run(quick: bool) -> String {
     t.note("paper section 7: inconsistent interrupt protection deadlocks barrier synchronization");
     assert_eq!(inconsistent, BarrierOutcome::Deadlocked);
     assert_eq!(disciplined, BarrierOutcome::Completed);
-    t.render()
+
+    let mut report =
+        BenchReport::new("E07", "Interrupt-level barrier deadlock (paper §7)", quick);
+    report.exact(
+        "inconsistent_deadlocked",
+        u64::from(inconsistent == BarrierOutcome::Deadlocked) as f64,
+        "bool",
+    );
+    report.exact(
+        "disciplined_completed",
+        u64::from(disciplined == BarrierOutcome::Completed) as f64,
+        "bool",
+    );
+    (t.render(), report.render())
 }
 
 /// Run the three-processor scenario. With `disciplined`, both lock

@@ -6,12 +6,20 @@
 //! the gap grows with the translation share (the two halves of the
 //! workload stop contending at all).
 
+use crate::report::BenchReport;
 use crate::util::{fmt_rate, thread_sweep, Table};
 use crate::workloads::{task_mixed_ops, TaskFlavor};
 
 /// Run E8 and render its table.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E8; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E08.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 10_000 } else { 200_000 };
+    let mut report = BenchReport::new("E08", "The task's two locks (paper §5)", quick);
     let mut out = String::new();
     for translate_pct in [50u32, 90u32] {
         let mut t = Table::new(
@@ -27,11 +35,18 @@ pub fn run(quick: bool) -> String {
                 fmt_rate(one),
                 format!("{:.2}x", two / one),
             ]);
+            if threads == 4 {
+                report.info(
+                    &format!("two_lock_gain_4t_t{translate_pct}"),
+                    two / one,
+                    "ratio",
+                );
+            }
         }
         t.note(
             "paper section 5: separate IPC-translation lock lets translations bypass the task lock",
         );
         out.push_str(&t.render());
     }
-    out
+    (out, report.render())
 }

@@ -16,10 +16,17 @@ use machk_vm::{
     vm_map_pageable_recursive, vm_map_pageable_rewritten, MapError, PageOutDaemon, WireScenario,
 };
 
+use crate::report::BenchReport;
 use crate::util::Table;
 
 /// Run E10 and render its table.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E10; returns the rendered table plus the JSON artifact body
+/// (`BENCH_E10.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let limit = if quick {
         Duration::from_millis(200)
     } else {
@@ -79,5 +86,22 @@ pub fn run(quick: bool) -> String {
     assert_eq!(recursive, Err(MapError::ShortageTimeout));
     assert_eq!(rewritten, Ok(()));
     assert!(reclaimed_during_rewrite > 0);
-    t.render()
+
+    let mut report = BenchReport::new(
+        "E10",
+        "vm_map_pageable: recursive locks deadlock (paper §7.1)",
+        quick,
+    );
+    report.exact(
+        "recursive_deadlocked",
+        u64::from(recursive == Err(MapError::ShortageTimeout)) as f64,
+        "bool",
+    );
+    report.exact("rewritten_completed", u64::from(rewritten == Ok(())) as f64, "bool");
+    report.info(
+        "daemon_reclaimed_during_rewrite",
+        reclaimed_during_rewrite as f64,
+        "pages",
+    );
+    (t.render(), report.render())
 }

@@ -15,12 +15,21 @@ use std::time::Instant;
 
 use machk_vm::VmObject;
 
+use crate::report::BenchReport;
 use crate::util::{fmt_rate, thread_sweep, Table};
 use crate::workloads::vm_object_paging_storm;
 
 /// Run E11 and render its tables.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E11; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E11.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let iters: u64 = if quick { 10_000 } else { 200_000 };
+    let mut report =
+        BenchReport::new("E11", "Memory object dual reference counts (paper §8)", quick);
     let mut out = String::new();
 
     let mut t = Table::new(
@@ -28,10 +37,11 @@ pub fn run(quick: bool) -> String {
         &["threads", "paging ops/s"],
     );
     for threads in thread_sweep() {
-        t.row(&[
-            threads.to_string(),
-            fmt_rate(vm_object_paging_storm(threads, iters)),
-        ]);
+        let rate = vm_object_paging_storm(threads, iters);
+        t.row(&[threads.to_string(), fmt_rate(rate)]);
+        if threads == 4 {
+            report.info("paging_ops_per_sec_4t", rate, "ops/s");
+        }
     }
     out.push_str(&t.render());
 
@@ -52,12 +62,12 @@ pub fn run(quick: bool) -> String {
                     for _ in 0..50 {
                         match obj.paging_begin() {
                             Ok(op) => {
-                                started.fetch_add(1, Ordering::Relaxed);
+                                started.fetch_add(1, Ordering::Relaxed); // relaxed: test tally; joined before reading
                                 std::hint::black_box(&op);
                                 drop(op);
                             }
                             Err(_) => {
-                                refused.fetch_add(1, Ordering::Relaxed);
+                                refused.fetch_add(1, Ordering::Relaxed); // relaxed: test tally; joined before reading
                             }
                         }
                     }
@@ -75,7 +85,7 @@ pub fn run(quick: bool) -> String {
         // either completed or failed cleanly.
         assert_eq!(obj.paging_in_progress(), 0, "terminate waited for drain");
         waited_for_drain += 1;
-        clean_refusals += refused.load(Ordering::Relaxed);
+        clean_refusals += refused.load(Ordering::Relaxed); // relaxed: read after scope join
     }
 
     let mut t = Table::new(
@@ -93,5 +103,13 @@ pub fn run(quick: bool) -> String {
     ]);
     t.note("every termination found paging_in_progress == 0 after completing");
     out.push_str(&t.render());
-    out
+    // `waited_for_drain` only advances past the per-trial assertion, so
+    // violations is structurally the count of trials that did NOT drain.
+    report.exact(
+        "termination_drain_violations",
+        (trials as u64 - waited_for_drain) as f64,
+        "count",
+    );
+    report.info("clean_refusals", clean_refusals as f64, "count");
+    (out, report.render())
 }

@@ -13,10 +13,17 @@ use std::sync::Arc;
 use machk_ipc::{Message, RefSemantics, RpcError, RpcStats};
 use machk_kernel::{kernel_dispatch_table, op_ids, ops::create_task_with_port, shutdown};
 
+use crate::report::BenchReport;
 use crate::util::Table;
 
 /// Run E13 and render its table.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E13; returns the rendered table plus the JSON artifact body
+/// (`BENCH_E13.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let objects = if quick { 8 } else { 32 };
     let ops_per_thread = if quick { 200 } else { 20_000 };
     let table = Arc::new(kernel_dispatch_table());
@@ -45,11 +52,11 @@ pub fn run(quick: bool) -> String {
                             RefSemantics::Mach30,
                             stats,
                         ) {
-                            Ok(_) => completed.fetch_add(1, Ordering::Relaxed),
+                            Ok(_) => completed.fetch_add(1, Ordering::Relaxed), // relaxed: outcome tally; read after join
                             Err(RpcError::Operation(_)) => {
-                                deactivated.fetch_add(1, Ordering::Relaxed)
+                                deactivated.fetch_add(1, Ordering::Relaxed) // relaxed: outcome tally; read after join
                             }
-                            Err(RpcError::Port(_)) => port_dead.fetch_add(1, Ordering::Relaxed),
+                            Err(RpcError::Port(_)) => port_dead.fetch_add(1, Ordering::Relaxed), // relaxed: outcome tally; read after join
                             Err(e) => unreachable!("unexpected rpc outcome: {e}"),
                         };
                     }
@@ -64,9 +71,9 @@ pub fn run(quick: bool) -> String {
                     // Land mid-storm even on a single-CPU host.
                     std::thread::sleep(std::time::Duration::from_millis(1));
                     if shutdown::shutdown_task(&port, task).is_ok() {
-                        wins.fetch_add(1, Ordering::Relaxed);
+                        wins.fetch_add(1, Ordering::Relaxed); // relaxed: outcome tally; read after join
                     } else {
-                        losses.fetch_add(1, Ordering::Relaxed);
+                        losses.fetch_add(1, Ordering::Relaxed); // relaxed: outcome tally; read after join
                     }
                 });
             }
@@ -86,33 +93,42 @@ pub fn run(quick: bool) -> String {
     t.row(&["operations issued".into(), total_ops.to_string()]);
     t.row(&[
         "completed".into(),
-        completed.load(Ordering::Relaxed).to_string(),
+        completed.load(Ordering::Relaxed).to_string(), // relaxed: read after scope join
     ]);
     t.row(&[
         "failed: object deactivated".into(),
-        deactivated.load(Ordering::Relaxed).to_string(),
+        deactivated.load(Ordering::Relaxed).to_string(), // relaxed: read after scope join
     ]);
     t.row(&[
         "failed: port dead / translation off".into(),
-        port_dead.load(Ordering::Relaxed).to_string(),
+        port_dead.load(Ordering::Relaxed).to_string(), // relaxed: read after scope join
     ]);
     t.row(&[
         "shutdown winners".into(),
-        shutdown_wins.load(Ordering::Relaxed).to_string(),
+        shutdown_wins.load(Ordering::Relaxed).to_string(), // relaxed: read after scope join
     ]);
     t.row(&[
         "shutdown losers".into(),
-        shutdown_losses.load(Ordering::Relaxed).to_string(),
+        shutdown_losses.load(Ordering::Relaxed).to_string(), // relaxed: read after scope join
     ]);
     t.note("every operation completed or failed cleanly; reference flow balanced");
-    assert_eq!(
-        completed.load(Ordering::Relaxed)
-            + deactivated.load(Ordering::Relaxed)
-            + port_dead.load(Ordering::Relaxed),
-        total_ops
-    );
-    assert_eq!(shutdown_wins.load(Ordering::Relaxed), objects as u64);
-    assert_eq!(shutdown_losses.load(Ordering::Relaxed), objects as u64);
+    let accounted = completed.load(Ordering::Relaxed) // relaxed: read after scope join
+        + deactivated.load(Ordering::Relaxed) // relaxed: read after scope join
+        + port_dead.load(Ordering::Relaxed); // relaxed: read after scope join
+    assert_eq!(accounted, total_ops);
+    assert_eq!(shutdown_wins.load(Ordering::Relaxed), objects as u64); // relaxed: read after scope join
+    assert_eq!(shutdown_losses.load(Ordering::Relaxed), objects as u64); // relaxed: read after scope join
     assert!(stats.balanced());
-    t.render()
+
+    let mut report =
+        BenchReport::new("E13", "Deactivation & shutdown under fire (paper §9–10)", quick);
+    report.exact("unaccounted_operations", (total_ops - accounted) as f64, "count");
+    report.exact(
+        "shutdown_win_deficit",
+        (objects as u64 - shutdown_wins.load(Ordering::Relaxed)) as f64, // relaxed: read after scope join
+        "count",
+    );
+    report.exact("rpc_ledger_balanced", u64::from(stats.balanced()) as f64, "bool");
+    report.info("operations_issued", total_ops as f64, "count");
+    (t.render(), report.render())
 }

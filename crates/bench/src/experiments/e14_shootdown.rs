@@ -14,15 +14,27 @@ use std::time::{Duration, Instant};
 use machk_intr::{BarrierOutcome, Machine};
 use machk_vm::{PageId, TlbSystem};
 
+use crate::report::BenchReport;
 use crate::util::Table;
 
 /// Run E14 and render its tables.
 pub fn run(quick: bool) -> String {
+    run_report(quick).0
+}
+
+/// Run E14; returns the rendered tables plus the JSON artifact body
+/// (`BENCH_E14.json`, `machk-bench/v1` envelope).
+pub fn run_report(quick: bool) -> (String, String) {
     let rounds = if quick { 20 } else { 200 };
     // Simulated CPUs are host *threads*; the sweep is meaningful even on
     // a single-CPU host (latency then includes host scheduling).
     let max_cpus = 4;
 
+    let mut report = BenchReport::new(
+        "E14",
+        "TLB shootdown & the pmap-lock special logic (paper §7)",
+        quick,
+    );
     let mut out = String::new();
     let mut t = Table::new(
         "E14a: TLB shootdown latency vs machine size",
@@ -36,6 +48,7 @@ pub fn run(quick: bool) -> String {
             rounds.to_string(),
             format!("{mean_us:.1}"),
         ]);
+        report.info(&format!("shootdown_mean_us_{cpus}cpu"), mean_us, "us");
         cpus *= 2;
     }
     t.note("paper: interrupt-level barrier synchronization 'is a costly operation'");
@@ -56,7 +69,8 @@ pub fn run(quick: bool) -> String {
     ]);
     assert!(exempt_ok);
     out.push_str(&t.render());
-    out
+    report.exact("special_logic_consistent", u64::from(exempt_ok) as f64, "bool");
+    (out, report.render())
 }
 
 /// Mean shootdown latency (µs) over `rounds` shootdowns on `cpus`

@@ -16,10 +16,14 @@
 #[cfg(feature = "obs")]
 use machk_core::{Backoff, ComplexLock, RawSimpleLock, ShardedRefCount, SpinPolicy};
 
+use crate::report::BenchReport;
 #[cfg(feature = "obs")]
 use crate::util::run_concurrent;
 #[cfg(not(feature = "obs"))]
 use crate::util::Table;
+
+/// The experiment's envelope title (shared by both feature variants).
+const TITLE: &str = "Kernel-wide lockstat: contention, histograms, order cycles (obs layer)";
 
 /// Drive named locks of every class through a contended workload. The
 /// locks are statics so their names outlive the run (registration wants
@@ -145,21 +149,136 @@ pub fn run(quick: bool) -> String {
     out
 }
 
-/// Run E16 and also return the lockstat report as JSON for the
-/// `--artifacts` machinery (`BENCH_E16.json`). The table is the same
-/// one [`run`] prints; the JSON is the obs layer's machine-readable
-/// lockstat (locks, contention counters, order edges, cycles).
+/// The E16 exporter set: NDJSON subscriber, its shared sink, and the
+/// flamegraph aggregator (all install-forever statics).
 #[cfg(feature = "obs")]
-pub fn run_report(quick: bool) -> (String, Option<String>) {
-    let table = run(quick);
-    (table, Some(machk_obs::Lockstat::collect().render_json()))
+pub type Exporters = (
+    &'static machk_obs::NdjsonSubscriber,
+    &'static std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+    &'static machk_obs::FlameSubscriber,
+);
+
+/// The exporter subscribers E16 exercises, installed once per process
+/// (dispatcher slots are install-forever; later calls return the same
+/// set). The NDJSON queue is bounded; overflow past it is the
+/// drop-counting behaviour E16 reports.
+#[cfg(feature = "obs")]
+pub fn exporters() -> Exporters {
+    use std::sync::OnceLock;
+    static SLOT: OnceLock<Exporters> = OnceLock::new();
+    *SLOT.get_or_init(|| {
+        let (ndjson, buf) = machk_obs::NdjsonSubscriber::to_shared_vec(8_192);
+        let ndjson: &'static machk_obs::NdjsonSubscriber = Box::leak(Box::new(ndjson));
+        let buf = Box::leak(Box::new(buf));
+        let flame: &'static machk_obs::FlameSubscriber =
+            Box::leak(Box::new(machk_obs::FlameSubscriber::new()));
+        machk_obs::install_static(ndjson).expect("subscriber slots exhausted");
+        machk_obs::install_static(flame).expect("subscriber slots exhausted");
+        (ndjson, buf, flame)
+    })
 }
 
-/// Without obs there is nothing to serialize: no artifact is written,
-/// matching the zero-cost claim the table states.
+/// A short IPC storm so lockstat and the flamegraph attribute the
+/// engine's rings and sharded namespace (`ipc.port.queue`,
+/// `ipc.ns.shardNN`, `ipc.engine.loop`) alongside the e16.* locks.
+#[cfg(feature = "obs")]
+fn drive_ipc_phase(quick: bool) {
+    use machk_ipc::engine::{Engine, EngineConfig};
+    let report = Engine::new(EngineConfig {
+        workers: 2,
+        ops_per_worker: if quick { 400 } else { 4_000 },
+        shards: 4,
+        seed: 0x1991_0E16,
+        ..EngineConfig::default()
+    })
+    .run();
+    assert!(report.rpcs > 0, "E16 ipc phase ran no RPCs");
+}
+
+/// Run E16 with the exporter subscribers installed and return the
+/// rendered table plus the `BENCH_E16.json` envelope. Beyond [`run`]'s
+/// lockstat assertions this checks the two exporters end to end: the
+/// NDJSON stream drains to parseable lines (drop-counted past its
+/// bounded queue) and the flamegraph aggregator attributes wait/hold
+/// time per lock-class × call-site, including the `ipc.*` sites the
+/// IPC phase drives.
+#[cfg(feature = "obs")]
+pub fn run_report(quick: bool) -> (String, String) {
+    let (ndjson, buf, flame) = exporters();
+    let mut out = run(quick);
+    drive_ipc_phase(quick);
+
+    let drained = ndjson.drain().expect("ndjson drain failed");
+    let (accepted, dropped) = (ndjson.accepted(), ndjson.dropped());
+    assert!(accepted > 0, "ndjson subscriber saw no events");
+    assert!(drained > 0, "ndjson drain wrote no lines");
+    let text = String::from_utf8(buf.lock().unwrap().clone()).expect("ndjson not UTF-8");
+    let mut lines = 0usize;
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        crate::json::parse(line)
+            .unwrap_or_else(|e| panic!("ndjson line is not one JSON object: {e}\n{line}"));
+        lines += 1;
+    }
+    assert!(lines > 0, "ndjson stream drained empty");
+
+    let folded = flame.render_folded(machk_obs::FlameMetric::Wait);
+    let folded_ops = flame.render_folded(machk_obs::FlameMetric::Ops);
+    assert!(flame.site_count() > 0, "flame subscriber saw no sites");
+    assert!(
+        folded.contains(";e16."),
+        "flame wait rollup is missing the e16.* sites:\n{folded}"
+    );
+    assert!(
+        folded_ops.contains(";ipc."),
+        "flame ops rollup is missing the ipc.* sites:\n{folded_ops}"
+    );
+
+    let stat = machk_obs::Lockstat::collect();
+    let named = stat.locks.iter().filter(|l| !l.name.is_empty()).count();
+    let mut report = BenchReport::new("E16", TITLE, quick);
+    report.exact("obs_enabled", 1.0, "bool");
+    report.exact("order_cycle_diagnosed", 1.0, "bool"); // asserted in run()
+    report.metric("named_locks", named as f64, "count", crate::report::Dir::Higher, 1.5);
+    report.metric(
+        "flame_sites",
+        flame.site_count() as f64,
+        "count",
+        crate::report::Dir::Higher,
+        2.0,
+    );
+    report.info("ndjson_lines_drained", lines as f64, "count");
+    report.info("ndjson_accepted", accepted as f64, "count");
+    report.info("ndjson_dropped", dropped as f64, "count");
+    report.extra(&format!(
+        "{{\"lockstat\":{},\"flame\":{}}}",
+        stat.render_json(),
+        flame.render_json()
+    ));
+
+    out.push_str("\n== E16-exporters: streaming NDJSON + flamegraph rollup ==\n");
+    out.push_str(&format!(
+        "  ndjson: {lines} lines drained ({accepted} accepted, {dropped} dropped past the \
+         {}-event queue)\n",
+        ndjson.capacity()
+    ));
+    out.push_str(&format!(
+        "  flame:  {} sites; hottest by wait:\n",
+        flame.site_count()
+    ));
+    for line in folded.lines().take(5) {
+        out.push_str(&format!("    {line}\n"));
+    }
+    (out, report.render())
+}
+
+/// Without obs there is nothing to trace or serialize; the envelope
+/// says so (and a baseline recorded with obs will fail against it —
+/// a misbuilt trajectory run, not a measurement).
 #[cfg(not(feature = "obs"))]
-pub fn run_report(quick: bool) -> (String, Option<String>) {
-    (run(quick), None)
+pub fn run_report(quick: bool) -> (String, String) {
+    let mut report = BenchReport::new("E16", TITLE, quick);
+    report.exact("obs_enabled", 0.0, "bool");
+    (run(quick), report.render())
 }
 
 /// Without the obs feature there is nothing to report — which is the

@@ -365,25 +365,33 @@ mod simulated {
                 format!("{{\"policy\":\"{name}\",\"clock_ns_1core\":{c1},\"clock_ns_8core\":{c8}}}")
             })
             .collect();
-        let json = format!(
-            "{{\"experiment\":\"E18\",\"mode\":\"{}\",\"runs\":{},\"distinct_schedules\":{},\
-             \"hangs\":{},\"violations\":{},\"steps\":{},\"virtual_ns\":{},\"backouts\":{},\
-             \"wakeup_timeouts\":{},\"e1_sim\":[{}],\"crossover_at_8_cores\":{},\
-             \"crossover_at_1_core\":{}}}",
-            if s.quick { "quick" } else { "full" },
-            s.stats.runs,
-            s.stats.distinct,
-            s.stats.hangs,
-            s.stats.panics,
-            s.stats.steps_total,
-            s.stats.virtual_ns_total,
-            s.backouts,
-            s.wakeup_timeouts,
-            e1_json.join(","),
-            s.crossover_at_8,
-            s.crossover_at_1,
+        // Everything here is virtual-time, deterministic given the seed
+        // matrix — the structural outcomes gate; the exploration volume
+        // gates loosely (a shrunk budget is a harness regression).
+        let mut report = crate::report::BenchReport::new(
+            "E18",
+            "Deterministic schedule exploration on simulated N-core hosts (sim layer)",
+            s.quick,
         );
-        (t.render(), json)
+        report.exact("sim_enabled", 1.0, "bool");
+        report.exact("hangs", s.stats.hangs as f64, "count");
+        report.exact("violations", s.stats.panics as f64, "count");
+        report.exact("crossover_at_8_cores", u64::from(s.crossover_at_8) as f64, "bool");
+        report.exact("crossover_at_1_core", u64::from(s.crossover_at_1) as f64, "bool");
+        report.metric(
+            "distinct_schedules",
+            s.stats.distinct as f64,
+            "count",
+            crate::report::Dir::Higher,
+            2.0,
+        );
+        report.info("runs", s.stats.runs as f64, "count");
+        report.info("steps_total", s.stats.steps_total as f64, "count");
+        report.info("virtual_ns_total", s.stats.virtual_ns_total as f64, "ns");
+        report.info("backouts", s.backouts as f64, "count");
+        report.info("wakeup_timeouts", s.wakeup_timeouts as f64, "count");
+        report.extra(&format!("{{\"e1_sim\":[{}]}}", e1_json.join(",")));
+        (t.render(), report.render())
     }
 }
 
@@ -412,13 +420,18 @@ pub fn run(_quick: bool) -> String {
     t.render()
 }
 
-/// Report-producing entry point for the disabled build.
+/// Report-producing entry point for the disabled build. The envelope
+/// says the simulator is compiled out; a baseline recorded with the
+/// sim feature fails against it (a misbuilt run, not a measurement).
 #[cfg(not(feature = "sim"))]
-pub fn run_report(_quick: bool) -> (String, String) {
-    (
-        run(false),
-        "{\"experiment\":\"E18\",\"enabled\":false}".to_string(),
-    )
+pub fn run_report(quick: bool) -> (String, String) {
+    let mut report = crate::report::BenchReport::new(
+        "E18",
+        "Deterministic schedule exploration on simulated N-core hosts (sim layer)",
+        quick,
+    );
+    report.exact("sim_enabled", 0.0, "bool");
+    (run(false), report.render())
 }
 
 /// Seed-override entry point for the disabled build.

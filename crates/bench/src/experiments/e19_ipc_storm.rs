@@ -65,9 +65,14 @@ pub fn run(quick: bool) -> String {
 }
 
 /// Run E19, assert its claims, and return the rendered tables plus the
-/// JSON artifact body (`BENCH_E19.json`).
+/// JSON artifact body (`BENCH_E19.json`, `machk-bench/v1` envelope).
 pub fn run_report(quick: bool) -> (String, String) {
     let ops = if quick { 3_000 } else { 60_000 };
+    let mut report = crate::report::BenchReport::new(
+        "E19",
+        "IPC engine storms: sharded namespace + lock-free rings at RPC scale",
+        quick,
+    );
     let mut out = String::new();
 
     // Campaign 1: host throughput, 1 and 8 workers.
@@ -79,6 +84,7 @@ pub fn run_report(quick: bool) -> (String, String) {
     for workers in [1usize, 8] {
         let r = storm(workers, ops * 8 / workers, 8);
         assert_ledgers("host storm", &r);
+        report.info(&format!("host_rpcs_per_sec_{workers}w"), r.rpcs_per_sec(), "ops/s");
         t.row(&[
             workers.to_string(),
             fmt_rate(r.rpcs_per_sec()),
@@ -123,7 +129,7 @@ pub fn run_report(quick: bool) -> (String, String) {
     out.push_str(&t.render());
 
     // Campaigns 2 (sim half) + 3 need the simulated host.
-    let sim = sim_section(quick);
+    let sim = sim_section(quick, &mut report);
     out.push_str(&sim.table);
 
     let host_json: Vec<String> = host_rows
@@ -141,19 +147,19 @@ pub fn run_report(quick: bool) -> (String, String) {
             )
         })
         .collect();
-    let json = format!(
-        "{{\"experiment\":\"E19\",\"mode\":\"{}\",\"seed\":{STORM_SEED},\
-         \"host\":[{}],\
-         \"host_sharded_rpcs_per_sec\":{:.0},\"host_single_lock_rpcs_per_sec\":{:.0},\
-         \"host_sharded_vs_single_ratio\":{:.3},{}}}",
-        if quick { "quick" } else { "full" },
+    // Every `assert_ledgers` above passed to reach this point, so the
+    // conservation claims gate as structural invariants.
+    report.exact("ledger_violations", 0.0, "count");
+    report.info("host_sharded_vs_single_ratio", host_ratio, "ratio");
+    report.extra(&format!(
+        "{{\"seed\":{STORM_SEED},\"host\":[{}],\
+         \"host_sharded_rpcs_per_sec\":{:.0},\"host_single_lock_rpcs_per_sec\":{:.0},{}}}",
         host_json.join(","),
         sharded.rpcs_per_sec(),
         single.rpcs_per_sec(),
-        host_ratio,
         sim.json,
-    );
-    (out, json)
+    ));
+    (out, report.render())
 }
 
 struct SimSection {
@@ -164,7 +170,7 @@ struct SimSection {
 /// The simulated-host half: determinism probe + the asserted sharded
 /// vs single-lock separation on 8 virtual cores.
 #[cfg(feature = "sim")]
-fn sim_section(quick: bool) -> SimSection {
+fn sim_section(quick: bool, report: &mut crate::report::BenchReport) -> SimSection {
     use std::sync::{Arc, Mutex};
 
     use machk_sim::{run as sim_run, SimConfig};
@@ -243,6 +249,16 @@ fn sim_section(quick: bool) -> SimSection {
     assert_ledgers("sim sharded", &sh_report);
     assert_ledgers("sim single-lock", &si_report);
     let ratio = si_clock as f64 / sh_clock.max(1) as f64;
+    // Virtual-time results, deterministic from (seed, cores): gate.
+    report.exact("sim_enabled", 1.0, "bool");
+    report.exact("sim_replay_identical", 1.0, "bool"); // asserted above
+    report.metric(
+        "sim_sharded_vs_single_ratio",
+        ratio,
+        "ratio",
+        crate::report::Dir::Higher,
+        2.0,
+    );
     assert!(
         ratio >= 4.0,
         "sharded namespace must beat the single lock by >=4x on 8 simulated \
@@ -289,7 +305,8 @@ fn sim_section(quick: bool) -> SimSection {
 /// Without the sim feature the simulated campaigns are compiled out —
 /// the zero-cost claim, stated as a table row.
 #[cfg(not(feature = "sim"))]
-fn sim_section(_quick: bool) -> SimSection {
+fn sim_section(_quick: bool, report: &mut crate::report::BenchReport) -> SimSection {
+    report.exact("sim_enabled", 0.0, "bool");
     let mut t = Table::new(
         "E19c: simulated 8-core host — determinism probe + sharded-vs-single separation",
         &["status"],

@@ -17,6 +17,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compare;
 pub mod experiments;
+pub mod json;
+pub mod report;
 pub mod util;
 pub mod workloads;

@@ -213,6 +213,22 @@ struct WorkerTally {
     digest: u64,
 }
 
+/// Trace one completed dispatch-loop batch (`obs` feature): the
+/// `EngineBatch` event under the shared `ipc.engine.loop` name, `arg`
+/// = operations dispatched since the previous drain point. Workers are
+/// distinguished downstream by the per-thread tag every event carries.
+#[cfg(feature = "obs")]
+#[inline]
+fn obs_engine_batch(ops: u64) {
+    static TAG: machk_obs::LockTag = machk_obs::LockTag::new();
+    let id = TAG.ensure("ipc.engine.loop", machk_obs::LockClass::Other, "engine");
+    machk_obs::emit(machk_obs::EventKind::EngineBatch, id, ops);
+}
+
+#[cfg(not(feature = "obs"))]
+#[inline]
+fn obs_engine_batch(_ops: u64) {}
+
 /// The engine: shared state plus the dispatch table. Build one with
 /// [`Engine::new`], fire storms with [`Engine::run`].
 ///
@@ -454,6 +470,7 @@ impl Engine {
                     t.drained += n as u64;
                 }
                 batch.clear(); // rights released in bulk
+                obs_engine_batch(cfg.drain_every as u64);
             }
         }
 

@@ -119,7 +119,10 @@ impl Port {
         assert!(limit >= 1, "queue limit must be at least 1");
         ObjRef::new(Port {
             header: ObjHeader::new(),
-            queue: MpscRing::with_limit(limit),
+            // One trace name for every port queue: the obs registry
+            // dedupes per name, so the lockstat/flame reports show ring
+            // traffic and backpressure aggregated across all ports.
+            queue: MpscRing::with_limit_named(limit, "ipc.port.queue"),
             state: SimpleLocked::new(PortState {
                 kernel_object: None,
                 pset_event: None,

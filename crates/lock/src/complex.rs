@@ -268,38 +268,44 @@ impl ComplexLock {
         }
     }
 
-    /// Trace a successful read or write acquisition.
+    /// Trace a successful read or write acquisition: emit the acquire
+    /// event (with the contended flag); counters, histograms, and the
+    /// order graph live downstream in `machk_obs::StatsSubscriber`.
     #[cfg(feature = "obs")]
-    fn obs_acquired(&self, op: machk_obs::ComplexOp, kind: machk_obs::EventKind, t0: u64, waited: bool) {
+    fn obs_acquired(&self, _op: machk_obs::ComplexOp, kind: machk_obs::EventKind, t0: u64, waited: bool) {
         let id = self.obs_id();
         if id == 0 {
             return;
         }
         let now = machk_obs::now_ns();
         let wait = now.saturating_sub(t0);
-        machk_obs::registry::record_complex(id, op, wait, waited);
         self.obs
             .acquired_at
             // relaxed: obs timestamp written by the holder; readers of
             // the hold time are the same holder at release.
             .store(now, core::sync::atomic::Ordering::Relaxed);
-        machk_obs::emit(kind, id, wait);
-        machk_obs::order::lock_acquired(id);
+        machk_obs::emit_flags(
+            kind,
+            id,
+            wait,
+            if waited { machk_obs::FLAG_CONTENDED } else { 0 },
+        );
     }
 
     /// Trace a mode transition on an already-held lock (upgrade ok,
-    /// upgrade failed, downgrade).
+    /// upgrade failed, downgrade). The subscriber knows an upgrade
+    /// failure implies the read hold was lost (§7.1) and pops the
+    /// order stack itself.
     #[cfg(feature = "obs")]
-    fn obs_transition(&self, op: machk_obs::ComplexOp, kind: machk_obs::EventKind) {
+    fn obs_transition(&self, _op: machk_obs::ComplexOp, kind: machk_obs::EventKind) {
         let id = self.obs_id();
         if id == 0 {
             return;
         }
-        machk_obs::registry::record_complex(id, op, 0, false);
         machk_obs::emit(kind, id, 0);
     }
 
-    /// Trace a release (`lock_done`): hold-time histogram + order pop.
+    /// Trace a release (`lock_done`) with the measured hold time.
     #[cfg(feature = "obs")]
     fn obs_released(&self) {
         let Some(id) = self.obs.tag.get() else {
@@ -312,9 +318,7 @@ impl ComplexLock {
                 // acquisition; the lock itself orders the pair.
                 .load(core::sync::atomic::Ordering::Relaxed),
         );
-        machk_obs::registry::record_hold(id, hold);
         machk_obs::emit(machk_obs::EventKind::ComplexRelease, id, hold);
-        machk_obs::order::lock_released(id);
     }
 
     /// Trace a failed try operation.
@@ -324,7 +328,6 @@ impl ComplexLock {
         if id == 0 {
             return;
         }
-        machk_obs::registry::record_try_failure(id);
         machk_obs::emit(machk_obs::EventKind::ComplexTryFail, id, 0);
     }
 
@@ -543,17 +546,13 @@ impl ComplexLock {
                 self.wake_waiters(&mut s);
             }
             drop(s);
+            // The failed upgrade released our read hold; the stats
+            // subscriber pops the order stack on this event.
             #[cfg(feature = "obs")]
-            {
-                self.obs_transition(
-                    machk_obs::ComplexOp::UpgradeFailed,
-                    machk_obs::EventKind::ComplexUpgradeFail,
-                );
-                // The failed upgrade released our read hold.
-                if let Some(id) = self.obs.tag.get() {
-                    machk_obs::order::lock_released(id);
-                }
-            }
+            self.obs_transition(
+                machk_obs::ComplexOp::UpgradeFailed,
+                machk_obs::EventKind::ComplexUpgradeFail,
+            );
             return true;
         }
         s.want_upgrade = true;

@@ -53,6 +53,14 @@ pub enum EventKind {
     EventWait = 18,
     /// Wakeup posted; `arg` = number of threads awakened.
     EventWakeup = 19,
+    /// Message ring push succeeded; `arg` = approximate depth after.
+    RingPush = 20,
+    /// Message ring pop / batch drain; `arg` = messages dequeued.
+    RingPop = 21,
+    /// Message ring push refused (at its logical limit, §3 backpressure).
+    RingFull = 22,
+    /// IPC engine dispatch-loop batch completed; `arg` = ops dispatched.
+    EngineBatch = 23,
     /// Unrecognized discriminant (forward compatibility of unpack).
     Unknown = 255,
 }
@@ -82,10 +90,52 @@ impl EventKind {
             17 => SplRestore,
             18 => EventWait,
             19 => EventWakeup,
+            20 => RingPush,
+            21 => RingPop,
+            22 => RingFull,
+            23 => EngineBatch,
             _ => Unknown,
         }
     }
+
+    /// Stable lowercase label (NDJSON `kind` field, flame rollups).
+    pub fn label(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            SimpleAcquire => "simple_acquire",
+            SimpleContended => "simple_contended",
+            SimpleRelease => "simple_release",
+            SimpleTryFail => "simple_try_fail",
+            ComplexRead => "complex_read",
+            ComplexWrite => "complex_write",
+            ComplexUpgradeOk => "complex_upgrade_ok",
+            ComplexUpgradeFail => "complex_upgrade_fail",
+            ComplexDowngrade => "complex_downgrade",
+            ComplexRelease => "complex_release",
+            ComplexTryFail => "complex_try_fail",
+            RefTake => "ref_take",
+            RefRelease => "ref_release",
+            RefDrain => "ref_drain",
+            RefFinal => "ref_final",
+            Deactivate => "deactivate",
+            SplRaise => "spl_raise",
+            SplRestore => "spl_restore",
+            EventWait => "event_wait",
+            EventWakeup => "event_wakeup",
+            RingPush => "ring_push",
+            RingPop => "ring_pop",
+            RingFull => "ring_full",
+            EngineBatch => "engine_batch",
+            Unknown => "unknown",
+        }
+    }
 }
+
+/// [`TraceEvent::flags`] bit: the acquisition actually waited for
+/// another holder (set alongside `SimpleAcquire` / `ComplexRead` /
+/// `ComplexWrite`; elapsed time alone cannot distinguish a slow clock
+/// read from a real wait, so the hook says so explicitly).
+pub const FLAG_CONTENDED: u8 = 1;
 
 /// One trace record: when, what, on which lock, by which thread, and a
 /// kind-specific argument (wait/hold nanoseconds, counts, levels — see
@@ -102,15 +152,20 @@ pub struct TraceEvent {
     pub thread: u32,
     /// Kind-specific argument.
     pub arg: u64,
+    /// Event flag bits ([`FLAG_CONTENDED`]; 0 for most events).
+    pub flags: u8,
 }
 
 impl TraceEvent {
-    /// Pack into four words for atomic slot storage.
+    /// Pack into four words for atomic slot storage. Word 1 layout:
+    /// bits 0–31 lock id, bits 32–39 kind, bits 40–47 flags.
     #[inline]
     pub(crate) fn pack(&self) -> [u64; 4] {
         [
             self.ts_ns,
-            (u64::from(self.kind as u8) << 32) | u64::from(self.lock_id),
+            (u64::from(self.flags) << 40)
+                | (u64::from(self.kind as u8) << 32)
+                | u64::from(self.lock_id),
             u64::from(self.thread),
             self.arg,
         ]
@@ -125,6 +180,7 @@ impl TraceEvent {
             lock_id: w[1] as u32,
             thread: w[2] as u32,
             arg: w[3],
+            flags: (w[1] >> 40) as u8,
         }
     }
 }
@@ -141,17 +197,42 @@ mod tests {
             lock_id: 0xDEAD_BEEF,
             thread: 42,
             arg: u64::MAX - 7,
+            flags: 0,
         };
         assert_eq!(TraceEvent::unpack(ev.pack()), ev);
     }
 
     #[test]
+    fn pack_roundtrips_flags() {
+        let ev = TraceEvent {
+            ts_ns: 1,
+            kind: EventKind::SimpleAcquire,
+            lock_id: u32::MAX,
+            thread: 7,
+            arg: 99,
+            flags: FLAG_CONTENDED | 0x80,
+        };
+        let rt = TraceEvent::unpack(ev.pack());
+        assert_eq!(rt, ev);
+        assert_eq!(rt.flags & FLAG_CONTENDED, FLAG_CONTENDED);
+        assert_eq!(rt.lock_id, u32::MAX, "flags must not bleed into the id");
+    }
+
+    #[test]
     fn every_kind_roundtrips_through_u8() {
-        for v in 0..=19u8 {
+        for v in 0..=23u8 {
             let k = EventKind::from_u8(v);
             assert_ne!(k, EventKind::Unknown, "kind {v} lost");
             assert_eq!(k as u8, v);
         }
         assert_eq!(EventKind::from_u8(200), EventKind::Unknown);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..=23u8 {
+            assert!(seen.insert(EventKind::from_u8(v).label()), "duplicate label for {v}");
+        }
     }
 }

@@ -5,7 +5,19 @@
 //! deadlocks (§7). Ad-hoc per-lock counters cannot answer those
 //! questions for a whole kernel; Solaris `lockstat` could, by combining
 //! cheap always-on counters with a name registry and post-hoc
-//! aggregation. This crate is that tool for the reproduction:
+//! aggregation. This crate is that tool for the reproduction,
+//! structured like `tracing-core`: the hooks feed one tiny static
+//! dispatcher ([`subscriber`]), and everything downstream is a
+//! pluggable [`LockSubscriber`]:
+//!
+//! * **[`subscriber`]** — the dispatcher: [`emit`] stamps an event and
+//!   fans it to every installed subscriber, synchronously, in
+//!   installation order. [`StatsSubscriber`] (the classic
+//!   registry+histogram+lockstat pipeline below) is installed
+//!   automatically on first use; [`NdjsonSubscriber`] (streaming
+//!   newline-delimited JSON export, bounded and drop-counting) and
+//!   [`FlameSubscriber`] (lock-class × site wait/hold rollups rendered
+//!   as collapsed stacks) stack on top.
 //!
 //! * **[`ring`]** — a lock-free, per-thread, fixed-capacity,
 //!   overwrite-oldest trace ring of typed [`TraceEvent`]s (lock
@@ -49,18 +61,27 @@
 #![warn(rust_2018_idioms)]
 
 pub mod event;
+pub mod flame;
 pub mod hist;
+pub mod ndjson;
 pub mod order;
 pub mod registry;
 pub mod report;
 pub mod ring;
 pub mod snapshot;
+pub mod subscriber;
 
-pub use event::{EventKind, TraceEvent};
+pub use event::{EventKind, TraceEvent, FLAG_CONTENDED};
+pub use flame::{FlameMetric, FlameSubscriber};
 pub use hist::{HistSnapshot, Log2Hist};
-pub use registry::{ComplexOp, LockClass, LockTag, RefOp};
+pub use ndjson::NdjsonSubscriber;
+pub use registry::{ComplexOp, LockClass, LockTag, RefOp, RingOp};
 pub use report::Lockstat;
 pub use snapshot::{render_stats, StatsRows};
+pub use subscriber::{
+    dispatch, install, install_static, set_auto_install, LockSubscriber, SlotsFull,
+    StatsSubscriber,
+};
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
@@ -88,17 +109,31 @@ pub fn thread_tag() -> u32 {
     TAG.with(|t| *t)
 }
 
-/// Emit one trace event into the calling thread's ring, stamped with
-/// the current time and thread tag. The single entry point the traced
-/// crates' `obs_event!` macros expand to.
+/// Emit one trace event, stamped with the current time and thread tag,
+/// through the subscriber dispatcher ([`subscriber::dispatch`]). The
+/// single entry point the traced crates' hooks call. On the first call
+/// the default [`StatsSubscriber`] is installed (unless
+/// [`set_auto_install`]`(false)` ran first), so a traced build reports
+/// through the registry/ring/order machinery exactly as before the
+/// subscriber layer existed.
 #[inline]
 pub fn emit(kind: EventKind, lock_id: u32, arg: u64) {
-    ring::push(TraceEvent {
+    emit_flags(kind, lock_id, arg, 0);
+}
+
+/// [`emit`] with event flag bits (e.g. [`FLAG_CONTENDED`] on acquire
+/// events — the hook knows whether it actually waited; elapsed time
+/// alone cannot say).
+#[inline]
+pub fn emit_flags(kind: EventKind, lock_id: u32, arg: u64, flags: u8) {
+    subscriber::ensure_default();
+    subscriber::dispatch(&TraceEvent {
         ts_ns: now_ns(),
         kind,
         lock_id,
         thread: thread_tag(),
         arg,
+        flags,
     });
 }
 

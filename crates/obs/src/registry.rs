@@ -339,6 +339,36 @@ pub fn record_ref(id: u32, op: RefOp) {
     };
 }
 
+/// Message-ring operations for [`record_ring`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingOp {
+    /// Push accepted.
+    Push,
+    /// Pop / batch drain (trace-ring only; no registry counter).
+    Pop,
+    /// Push refused at the logical limit (§3 backpressure).
+    Full,
+}
+
+/// Record message-ring traffic against a registered ring name:
+/// accepted pushes count as acquisitions, limit rejections as try
+/// failures (the ring's analogue of a failed `simple_lock_try`), so
+/// per-ring backpressure shows up in the ordinary contention columns.
+#[inline]
+pub fn record_ring(id: u32, op: RingOp) {
+    let e = entry(id);
+    // relaxed: monotone stats counters.
+    match op {
+        RingOp::Push => {
+            e.acquires.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
+        }
+        RingOp::Pop => {}
+        RingOp::Full => {
+            e.try_failures.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
+        }
+    }
+}
+
 // ---- snapshotting for reports ----
 
 /// Plain-data copy of one registered lock's identity and counters.
@@ -418,6 +448,18 @@ pub fn snapshot() -> Vec<LockReport> {
             }
         })
         .collect()
+}
+
+/// Resolve an id to its registered class ([`LockClass::Other`] for
+/// unregistered ids) — flame rollups group by it.
+pub fn class_of(id: u32) -> LockClass {
+    meta_table()
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|m| m.id == id)
+        .map(|m| m.class)
+        .unwrap_or(LockClass::Other)
 }
 
 /// Resolve an id to its registered name (reports, cycle rendering).

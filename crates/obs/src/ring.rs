@@ -214,6 +214,7 @@ mod tests {
             lock_id: i as u32,
             thread: 1,
             arg: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            flags: (i % 5) as u8,
         }
     }
 

@@ -1,0 +1,356 @@
+//! The dispatcher core: a tiny static fan-out from the trace hooks to
+//! N registered [`LockSubscriber`]s.
+//!
+//! The shape is `tracing-core`'s: the hooks compiled into the product
+//! crates know nothing about *consumers* — they call one function,
+//! [`crate::emit`], which stamps the event and hands it to
+//! [`dispatch`]. Consumers implement [`LockSubscriber`] and register
+//! with [`install`]. The registry/histogram/lockstat machinery that
+//! used to *be* machk-obs is now just the first subscriber
+//! ([`StatsSubscriber`], auto-installed on first emit so existing
+//! callers see identical behavior); the NDJSON exporter
+//! ([`crate::ndjson`]) and the flamegraph aggregator ([`crate::flame`])
+//! stack on top without the hooks changing.
+//!
+//! ## Why static dispatch, and what it costs
+//!
+//! Subscribers live in a fixed array of `&'static dyn LockSubscriber`
+//! slots published by a monotonically increasing count. The hot path is
+//! one `Acquire` load of the count plus one indirect call per
+//! subscriber — no mutex, no `Arc` refcount traffic, no allocation.
+//! Registration is **install-forever** (again as in `tracing-core`):
+//! slots are never freed or reused, so readers need no epoch/RCU
+//! machinery to keep a subscriber alive across a call. A subscriber
+//! that wants to stop consuming simply ignores events.
+//!
+//! ## Ordering guarantees
+//!
+//! Subscribers run *synchronously on the emitting thread*, in
+//! installation order. Two consequences the built-in subscribers rely
+//! on: (1) every subscriber observes the same per-thread event
+//! sequence, in program order — so the [`StatsSubscriber`]'s held-lock
+//! stack (thread-local) stays correct; (2) events from different
+//! threads interleave arbitrarily, ordered only by their `ts_ns`
+//! stamps. Re-entrant emission (a subscriber's own code tripping a
+//! trace hook) is cut off by a per-thread latch: the inner event is
+//! counted and dropped, never fanned out.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::event::TraceEvent;
+use crate::registry::{self, ComplexOp, RefOp, RingOp};
+use crate::{order, ring, EventKind};
+
+/// A consumer of trace events. Implementations must be cheap and
+/// re-entrancy-safe: `on_event` runs on the emitting thread, often
+/// while the traced lock is still held.
+pub trait LockSubscriber: Send + Sync {
+    /// Short identifying name (shown in lockstat reports).
+    fn name(&self) -> &'static str;
+    /// Observe one event. Called synchronously from the emit path.
+    fn on_event(&self, ev: &TraceEvent);
+}
+
+/// Dispatcher slot capacity. Install-forever slots; exceeding this is
+/// a programming error surfaced by [`install`]'s `Err`.
+pub const MAX_SUBSCRIBERS: usize = 8;
+
+static SLOTS: [OnceLock<&'static dyn LockSubscriber>; MAX_SUBSCRIBERS] =
+    [const { OnceLock::new() }; MAX_SUBSCRIBERS];
+
+/// Number of published slots. Written under `INSTALL_LOCK` with
+/// `Release`; the dispatch fast path reads it with `Acquire` so every
+/// slot below the count is visible.
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// Dispatches that took the static "no subscribers" branch.
+static EMPTY_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Events dropped by the per-thread re-entrancy latch.
+static REENTRANT_DROPS: AtomicU64 = AtomicU64::new(0);
+
+fn install_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Register a subscriber for the rest of the process lifetime (the
+/// box is leaked — installation is forever, which is what lets the
+/// dispatch path skip all liveness bookkeeping). Returns the slot
+/// index, or the box back if all [`MAX_SUBSCRIBERS`] slots are taken.
+pub fn install(sub: Box<dyn LockSubscriber>) -> Result<usize, Box<dyn LockSubscriber>> {
+    let _g = install_lock().lock().unwrap();
+    // relaxed: the install mutex serializes writers; Release below
+    // publishes the slot to lock-free readers.
+    let idx = COUNT.load(Ordering::Relaxed);
+    if idx >= MAX_SUBSCRIBERS {
+        return Err(sub);
+    }
+    let leaked: &'static dyn LockSubscriber = Box::leak(sub);
+    SLOTS[idx].set(leaked).ok().expect("slot below COUNT never set twice");
+    COUNT.store(idx + 1, Ordering::Release);
+    Ok(idx)
+}
+
+/// All [`MAX_SUBSCRIBERS`] dispatcher slots are taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotsFull;
+
+/// [`install`] for a `'static` subscriber (no box, no leak).
+pub fn install_static(sub: &'static dyn LockSubscriber) -> Result<usize, SlotsFull> {
+    let _g = install_lock().lock().unwrap();
+    // relaxed: serialized by the install mutex, as in `install`.
+    let idx = COUNT.load(Ordering::Relaxed);
+    if idx >= MAX_SUBSCRIBERS {
+        return Err(SlotsFull);
+    }
+    SLOTS[idx].set(sub).ok().expect("slot below COUNT never set twice");
+    COUNT.store(idx + 1, Ordering::Release);
+    Ok(idx)
+}
+
+/// Number of installed subscribers.
+pub fn subscriber_count() -> usize {
+    COUNT.load(Ordering::Acquire)
+}
+
+/// Names of the installed subscribers, in installation (= dispatch)
+/// order.
+pub fn subscriber_names() -> Vec<&'static str> {
+    let n = COUNT.load(Ordering::Acquire);
+    (0..n).filter_map(|i| SLOTS[i].get().map(|s| s.name())).collect()
+}
+
+/// How many dispatches found zero subscribers installed (the static
+/// "empty" branch — observable so tests can prove the fast path).
+pub fn empty_dispatches() -> u64 {
+    // relaxed: advisory diagnostic read.
+    EMPTY_DISPATCHES.load(Ordering::Relaxed)
+}
+
+/// How many events the re-entrancy latch cut off.
+pub fn reentrant_drops() -> u64 {
+    // relaxed: advisory diagnostic read.
+    REENTRANT_DROPS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Set while this thread is inside subscriber fan-out, so a
+    /// subscriber's own locking can never recurse into dispatch.
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Fan one event out to every installed subscriber, in installation
+/// order, on the calling thread. Does **not** auto-install anything —
+/// that policy lives in [`crate::emit`]; tests and benches call this
+/// directly to measure the bare dispatcher.
+#[inline]
+pub fn dispatch(ev: &TraceEvent) {
+    let n = COUNT.load(Ordering::Acquire);
+    if n == 0 {
+        // relaxed: monotone diagnostic counter.
+        EMPTY_DISPATCHES.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
+        return;
+    }
+    let entered = IN_DISPATCH
+        .try_with(|f| {
+            if f.get() {
+                false
+            } else {
+                f.set(true);
+                true
+            }
+        })
+        .unwrap_or(false);
+    if !entered {
+        // relaxed: monotone diagnostic counter.
+        REENTRANT_DROPS.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
+        return;
+    }
+    for slot in SLOTS.iter().take(n) {
+        if let Some(s) = slot.get() {
+            s.on_event(ev);
+        }
+    }
+    let _ = IN_DISPATCH.try_with(|f| f.set(false));
+}
+
+// ---- default-subscriber policy ----
+
+/// Whether the first [`crate::emit`] auto-installs the
+/// [`StatsSubscriber`]. On by default so a traced build behaves like
+/// the pre-subscriber machk-obs; benches/tests that want to measure or
+/// assert the empty dispatcher turn it off *before* the first emit.
+static AUTO_INSTALL: AtomicBool = AtomicBool::new(true);
+
+/// Enable/disable [`StatsSubscriber`] auto-install (must be called
+/// before any traced operation to have an effect — installation is
+/// forever).
+pub fn set_auto_install(on: bool) {
+    // relaxed: advisory policy flag, checked on the emit path.
+    AUTO_INSTALL.store(on, Ordering::Relaxed);
+}
+
+static STATS: StatsSubscriber = StatsSubscriber;
+static STATS_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Install the default [`StatsSubscriber`] (idempotent). Returns true
+/// if this call performed the installation.
+pub fn install_default() -> bool {
+    let _g = install_lock().lock().unwrap();
+    // relaxed: the install mutex serializes this flag's read/write.
+    if STATS_INSTALLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    // Bypass install_static: we already hold the install lock.
+    let idx = COUNT.load(Ordering::Relaxed); // relaxed: serialized by the install mutex
+    if idx >= MAX_SUBSCRIBERS {
+        return false;
+    }
+    SLOTS[idx].set(&STATS).ok().expect("slot below COUNT never set twice");
+    COUNT.store(idx + 1, Ordering::Release);
+    STATS_INSTALLED.store(true, Ordering::Relaxed); // relaxed: serialized by the install mutex
+    true
+}
+
+/// The emit-path policy check: install the default subscriber on the
+/// first traced operation unless [`set_auto_install`]`(false)` ran
+/// first.
+#[inline]
+pub(crate) fn ensure_default() {
+    // relaxed: both flags are advisory; install_default re-checks
+    // under the install mutex.
+    if !STATS_INSTALLED.load(Ordering::Relaxed) && AUTO_INSTALL.load(Ordering::Relaxed) {
+        install_default();
+    }
+}
+
+// ---- the first subscriber: registry + histograms + order graph ----
+
+/// The classic machk-obs pipeline as a subscriber: per-thread trace
+/// rings, the named-lock registry counters/histograms, and the
+/// acquisition-order graph. Auto-installed on first emit, so the
+/// lockstat report works exactly as before the subscriber refactor.
+pub struct StatsSubscriber;
+
+impl LockSubscriber for StatsSubscriber {
+    fn name(&self) -> &'static str {
+        "stats"
+    }
+
+    fn on_event(&self, ev: &TraceEvent) {
+        use EventKind::*;
+        let id = ev.lock_id;
+        let contended = ev.flags & crate::event::FLAG_CONTENDED != 0;
+        match ev.kind {
+            SimpleAcquire => {
+                registry::record_acquire(id, ev.arg, contended);
+                order::lock_acquired(id);
+            }
+            SimpleRelease => {
+                registry::record_hold(id, ev.arg);
+                order::lock_released(id);
+            }
+            SimpleTryFail | ComplexTryFail => registry::record_try_failure(id),
+            ComplexRead => {
+                registry::record_complex(id, ComplexOp::Read, ev.arg, contended);
+                order::lock_acquired(id);
+            }
+            ComplexWrite => {
+                registry::record_complex(id, ComplexOp::Write, ev.arg, contended);
+                order::lock_acquired(id);
+            }
+            // An upgrade transitions a lock this thread already holds:
+            // no order-stack push (the ComplexRead did that).
+            ComplexUpgradeOk => {
+                registry::record_complex(id, ComplexOp::UpgradeOk, ev.arg, contended)
+            }
+            ComplexUpgradeFail => {
+                registry::record_complex(id, ComplexOp::UpgradeFailed, 0, false);
+                // §7.1: a failed upgrade *loses* the read lock.
+                order::lock_released(id);
+            }
+            ComplexDowngrade => registry::record_complex(id, ComplexOp::Downgrade, 0, false),
+            ComplexRelease => {
+                registry::record_hold(id, ev.arg);
+                order::lock_released(id);
+            }
+            RefTake => registry::record_ref(id, RefOp::Take),
+            // A final release is still a release; RefFinal marks the
+            // destroy-now transition on top of it.
+            RefRelease | RefFinal => registry::record_ref(id, RefOp::Release),
+            RefDrain => registry::record_ref(id, RefOp::Drain),
+            RingPush => registry::record_ring(id, RingOp::Push),
+            RingPop => registry::record_ring(id, RingOp::Pop),
+            RingFull => registry::record_ring(id, RingOp::Full),
+            // Pure trace markers: ring-only.
+            SimpleContended | Deactivate | SplRaise | SplRestore | EventWait | EventWakeup
+            | EngineBatch | Unknown => {}
+        }
+        ring::push(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the dispatcher is process-global and install-forever, so
+    // unit tests here only exercise pieces that tolerate other tests'
+    // subscribers; the from-scratch fan-out / empty-branch proofs live
+    // in the `tests/` integration binaries (one process each).
+
+    #[test]
+    fn stats_subscriber_translates_counters() {
+        let id = registry::register(
+            "test.subscriber.stats",
+            registry::LockClass::Simple,
+            "tas",
+        );
+        let ev = |kind, arg, flags| TraceEvent {
+            ts_ns: 0,
+            kind,
+            lock_id: id,
+            thread: 1,
+            arg,
+            flags,
+        };
+        STATS.on_event(&ev(EventKind::SimpleAcquire, 120, crate::event::FLAG_CONTENDED));
+        STATS.on_event(&ev(EventKind::SimpleRelease, 80, 0));
+        STATS.on_event(&ev(EventKind::SimpleAcquire, 0, 0));
+        STATS.on_event(&ev(EventKind::SimpleRelease, 10, 0));
+        STATS.on_event(&ev(EventKind::SimpleTryFail, 0, 0));
+        let rep = registry::snapshot().into_iter().find(|l| l.id == id).unwrap();
+        assert_eq!(rep.acquires, 2);
+        assert_eq!(rep.contended, 1);
+        assert_eq!(rep.try_failures, 1);
+        assert_eq!(rep.wait.count, 2);
+        assert_eq!(rep.hold.count, 2);
+    }
+
+    #[test]
+    fn ring_events_attribute_to_registry() {
+        let id = registry::register(
+            "test.subscriber.ring",
+            registry::LockClass::Other,
+            "",
+        );
+        let ev = |kind| TraceEvent {
+            ts_ns: 0,
+            kind,
+            lock_id: id,
+            thread: 1,
+            arg: 1,
+            flags: 0,
+        };
+        STATS.on_event(&ev(EventKind::RingPush));
+        STATS.on_event(&ev(EventKind::RingPush));
+        STATS.on_event(&ev(EventKind::RingFull));
+        STATS.on_event(&ev(EventKind::RingPop));
+        let rep = registry::snapshot().into_iter().find(|l| l.id == id).unwrap();
+        assert_eq!(rep.acquires, 2, "pushes count as acquires");
+        assert_eq!(rep.try_failures, 1, "full rejections count as try failures");
+    }
+}

@@ -1,0 +1,44 @@
+//! The zero-subscriber fast path: with auto-install off and nothing
+//! installed, emits take the counted empty branch and no downstream
+//! machinery (rings, registry counters) runs at all.
+//!
+//! Own process on purpose: the test's premise is that *nothing* in the
+//! process ever installs a subscriber, which no shared test binary
+//! could promise.
+
+use machk_obs::{registry, ring, EventKind, LockClass};
+
+#[test]
+fn no_subscribers_means_counted_empty_dispatches_and_untouched_sinks() {
+    // Before any traced operation: keep the default StatsSubscriber out.
+    machk_obs::set_auto_install(false);
+
+    let id = registry::register("empty.probe", LockClass::Simple, "tas");
+    let emits = 100u64;
+    for i in 0..emits {
+        machk_obs::emit(EventKind::SimpleAcquire, id, i);
+        machk_obs::emit(EventKind::SimpleRelease, id, i);
+    }
+
+    assert_eq!(machk_obs::subscriber::subscriber_count(), 0);
+    assert_eq!(
+        machk_obs::subscriber::empty_dispatches(),
+        emits * 2,
+        "every emit must take the counted empty branch"
+    );
+
+    // The sinks the StatsSubscriber would have fed stayed untouched:
+    // nothing reached the per-thread rings…
+    let (pushed, rings) = ring::totals();
+    assert_eq!((pushed, rings), (0, 0), "events leaked into trace rings");
+    assert!(ring::snapshot_all().is_empty());
+
+    // …and the registered lock's counters never moved.
+    let report = registry::snapshot()
+        .into_iter()
+        .find(|r| r.id == id)
+        .expect("registered lock is in the registry snapshot");
+    assert_eq!(report.acquires, 0, "registry counters moved without a subscriber");
+    assert_eq!(report.wait.count, 0);
+    assert_eq!(report.hold.count, 0);
+}

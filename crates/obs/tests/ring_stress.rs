@@ -29,6 +29,7 @@ fn make_event(i: u64) -> TraceEvent {
         lock_id,
         thread,
         arg: checksum(i, lock_id, thread),
+        flags: (i % 3) as u8,
     }
 }
 

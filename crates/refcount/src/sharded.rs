@@ -172,13 +172,15 @@ impl ShardedRefCount {
         }
     }
 
-    /// Trace one refcount operation (take / release / drain / final).
+    /// Trace one refcount operation (take / release / drain / final):
+    /// emit the event; the counters live downstream in
+    /// `machk_obs::StatsSubscriber` (which counts `RefFinal` as a
+    /// release, the destroy-now transition being a release on top).
     #[cfg(feature = "obs")]
     #[inline]
-    fn obs_ref(&self, op: machk_obs::RefOp, kind: machk_obs::EventKind, arg: u64) {
+    fn obs_ref(&self, _op: machk_obs::RefOp, kind: machk_obs::EventKind, arg: u64) {
         let id = self.obs_id();
         if id != 0 {
-            machk_obs::registry::record_ref(id, op);
             machk_obs::emit(kind, id, arg);
         }
     }

@@ -74,27 +74,13 @@ pub(crate) fn on_release() {
     });
 }
 
-/// Feed a traced acquisition into the `machk-obs` lock-order graph.
-///
-/// The debug-only counter above answers "does this thread hold *any*
-/// simple lock?"; with the `obs` feature the same layer also answers
-/// "in what order does the kernel acquire its lock classes?" — every
-/// acquisition of a registered lock while another is held records a
-/// directed order edge, and `machk_obs::order::cycles()` turns
-/// accumulated edges into potential-deadlock reports (paper §5's
-/// locking conventions, made checkable).
-#[cfg(feature = "obs")]
-#[inline]
-pub(crate) fn trace_acquire(lock_id: u32) {
-    machk_obs::order::lock_acquired(lock_id);
-}
-
-/// Remove a traced lock from the order-graph held stack.
-#[cfg(feature = "obs")]
-#[inline]
-pub(crate) fn trace_release(lock_id: u32) {
-    machk_obs::order::lock_released(lock_id);
-}
+// NOTE: with the `obs` feature the same layer also answers "in what
+// order does the kernel acquire its lock classes?" — but since the
+// subscriber refactor that lives downstream of the event stream: the
+// lock hooks emit acquire/release events and
+// `machk_obs::StatsSubscriber` feeds the order graph
+// (`machk_obs::order`), synchronously on the acquiring thread, so the
+// per-thread held stack semantics are unchanged.
 
 /// A small nonzero tag identifying the current thread, used by the
 /// debug-only holder field of [`crate::RawSimpleLock`].

@@ -314,7 +314,6 @@ impl RawSimpleLock {
             {
                 let id = self.obs_id();
                 if id != 0 {
-                    machk_obs::registry::record_try_failure(id);
                     machk_obs::emit(machk_obs::EventKind::SimpleTryFail, id, 0);
                 }
             }
@@ -385,8 +384,10 @@ impl RawSimpleLock {
         }
     }
 
-    /// Post-acquisition tracing: wait-time histogram + contention
-    /// counters, acquire events, and the lock-order graph.
+    /// Post-acquisition tracing: emit the acquire event (with the
+    /// contended flag) into the subscriber dispatcher — counters,
+    /// histograms, and the lock-order graph all live downstream in
+    /// `machk_obs::StatsSubscriber` now.
     #[cfg(feature = "obs")]
     #[inline]
     fn obs_acquired(&self, id: u32, t0: u64, failures: u64) {
@@ -396,18 +397,21 @@ impl RawSimpleLock {
         let now = machk_obs::now_ns();
         let wait = now.saturating_sub(t0);
         let contended = failures > 0;
-        machk_obs::registry::record_acquire(id, wait, contended);
         // relaxed: timestamp read back only by this holder at release.
         self.obs.acquired_at.store(now, Ordering::Relaxed);
         if contended {
             machk_obs::emit(machk_obs::EventKind::SimpleContended, id, wait);
         }
-        machk_obs::emit(machk_obs::EventKind::SimpleAcquire, id, wait);
-        held::trace_acquire(id);
+        machk_obs::emit_flags(
+            machk_obs::EventKind::SimpleAcquire,
+            id,
+            wait,
+            if contended { machk_obs::FLAG_CONTENDED } else { 0 },
+        );
     }
 
-    /// Pre-release tracing: hold-time histogram, release event, order
-    /// stack pop. Must run while the lock is still held.
+    /// Pre-release tracing: emit the release event with the measured
+    /// hold time. Must run while the lock is still held.
     #[cfg(feature = "obs")]
     #[inline]
     fn obs_released(&self) {
@@ -416,9 +420,7 @@ impl RawSimpleLock {
         };
         // relaxed: written by this same holder at acquire time.
         let hold = machk_obs::now_ns().saturating_sub(self.obs.acquired_at.load(Ordering::Relaxed));
-        machk_obs::registry::record_hold(id, hold);
         machk_obs::emit(machk_obs::EventKind::SimpleRelease, id, hold);
-        held::trace_release(id);
     }
 
     #[cfg(debug_assertions)]

@@ -81,6 +81,11 @@ pub struct MpscRing<T> {
     limit: usize,
     enqueue_pos: AtomicUsize,
     dequeue_pos: AtomicUsize,
+    /// Registered trace name ("" = anonymous, untraced).
+    #[cfg(feature = "obs")]
+    obs_name: &'static str,
+    #[cfg(feature = "obs")]
+    obs_tag: machk_obs::LockTag,
 }
 
 // Safety: slots are transferred between threads with release/acquire
@@ -92,6 +97,15 @@ unsafe impl<T: Send> Sync for MpscRing<T> {}
 impl<T> MpscRing<T> {
     /// A ring admitting at most `limit` (≥ 1) items at a time.
     pub fn with_limit(limit: usize) -> MpscRing<T> {
+        Self::with_limit_named(limit, "")
+    }
+
+    /// [`MpscRing::with_limit`] with a static trace name. With the
+    /// `obs` feature on, named rings emit `RingPush` / `RingPop` /
+    /// `RingFull` trace events (per-name aggregation, like every named
+    /// lock); anonymous rings stay untraced. Without the feature the
+    /// name is discarded at compile time.
+    pub fn with_limit_named(limit: usize, name: &'static str) -> MpscRing<T> {
         assert!(limit >= 1, "ring limit must be at least 1");
         let capacity = limit.next_power_of_two();
         let buf: Vec<Slot<T>> = (0..capacity)
@@ -100,12 +114,42 @@ impl<T> MpscRing<T> {
                 val: UnsafeCell::new(MaybeUninit::uninit()),
             })
             .collect();
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
         MpscRing {
             buf: buf.into_boxed_slice(),
             mask: capacity - 1,
             limit,
             enqueue_pos: AtomicUsize::new(0),
             dequeue_pos: AtomicUsize::new(0),
+            #[cfg(feature = "obs")]
+            obs_name: name,
+            #[cfg(feature = "obs")]
+            obs_tag: machk_obs::LockTag::new(),
+        }
+    }
+
+    /// Registry id: 0 for anonymous rings, else lazily registered
+    /// under [`machk_obs::LockClass::Other`] with the `"ring"` policy
+    /// label.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_id(&self) -> u32 {
+        if self.obs_name.is_empty() {
+            0
+        } else {
+            self.obs_tag
+                .ensure(self.obs_name, machk_obs::LockClass::Other, "ring")
+        }
+    }
+
+    /// Emit one ring trace event (named rings only).
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn obs_ring(&self, kind: machk_obs::EventKind, arg: u64) {
+        let id = self.obs_id();
+        if id != 0 {
+            machk_obs::emit(kind, id, arg);
         }
     }
 
@@ -130,6 +174,8 @@ impl<T> MpscRing<T> {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed); // relaxed: CAS below re-validates the claim
         loop {
             if pos.wrapping_sub(self.dequeue_pos.load(Ordering::Acquire)) >= self.limit {
+                #[cfg(feature = "obs")]
+                self.obs_ring(machk_obs::EventKind::RingFull, self.limit as u64);
                 return Err(v);
             }
             let slot = &self.buf[pos & self.mask];
@@ -150,12 +196,16 @@ impl<T> MpscRing<T> {
                         // ownership of the slot for this lap.
                         unsafe { (*slot.val.get()).write(v) };
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        #[cfg(feature = "obs")]
+                        self.obs_ring(machk_obs::EventKind::RingPush, self.len() as u64);
                         return Ok(());
                     }
                     Err(now) => pos = now,
                 }
             } else if dif < 0 {
                 // A whole lap behind: physically full.
+                #[cfg(feature = "obs")]
+                self.obs_ring(machk_obs::EventKind::RingFull, self.limit as u64);
                 return Err(v);
             } else {
                 // Another producer advanced the position under us.
@@ -169,6 +219,17 @@ impl<T> MpscRing<T> {
 
     /// Pop the oldest item, if any.
     pub fn pop(&self) -> Option<T> {
+        let v = self.pop_inner();
+        #[cfg(feature = "obs")]
+        if v.is_some() {
+            self.obs_ring(machk_obs::EventKind::RingPop, 1);
+        }
+        v
+    }
+
+    /// [`MpscRing::pop`] without the trace event — the shared claim
+    /// loop; `pop_batch` traces once per sweep instead of per item.
+    fn pop_inner(&self) -> Option<T> {
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed); // relaxed: CAS below re-validates the claim
         loop {
             let slot = &self.buf[pos & self.mask];
@@ -211,13 +272,17 @@ impl<T> MpscRing<T> {
     pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
         let mut n = 0;
         while n < max {
-            match self.pop() {
+            match self.pop_inner() {
                 Some(v) => {
                     out.push(v);
                     n += 1;
                 }
                 None => break,
             }
+        }
+        #[cfg(feature = "obs")]
+        if n > 0 {
+            self.obs_ring(machk_obs::EventKind::RingPop, n as u64);
         }
         n
     }
@@ -242,8 +307,10 @@ impl<T> Drop for MpscRing<T> {
     fn drop(&mut self) {
         // Owning `&mut self`, no concurrency remains: drain and drop
         // whatever is still in flight (port rights in queued messages
-        // release their references here).
-        while self.pop().is_some() {}
+        // release their references here). Untraced: teardown pops are
+        // not consumption, and thread-local trace state may already be
+        // gone if this runs during process exit.
+        while self.pop_inner().is_some() {}
     }
 }
 
