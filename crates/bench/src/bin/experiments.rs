@@ -1,7 +1,7 @@
 //! The experiments binary: regenerate every table of the reproduction.
 //!
 //! The source paper has no tables or figures of its own (it is a
-//! design/experience paper); DESIGN.md defines experiments E1–E19, one
+//! design/experience paper); DESIGN.md defines experiments E1–E20, one
 //! per mechanism or claim in the text, and this binary prints them.
 //!
 //! Usage:
@@ -22,10 +22,10 @@
 //! with `--features fault`.
 //!
 //! `--artifacts DIR` additionally writes each experiment's
-//! `machk-bench/v1` envelope as `BENCH_E01.json` … `BENCH_E19.json`
+//! `machk-bench/v1` envelope as `BENCH_E01.json` … `BENCH_E20.json`
 //! into `DIR` — the files CI uploads as run artifacts and diffs against
 //! `bench/baselines/` with `bench-compare`. Feature-gated experiments
-//! (E16 obs, E17 fault, E18/E19-sim sim) still emit envelopes when the
+//! (E16 obs, E17 fault, E18/E19/E20-sim sim) still emit envelopes when the
 //! feature is off, carrying an `*_enabled = 0` exact metric so compare
 //! flags a misbuilt trajectory run. Under `--features obs` the E16
 //! exporter outputs (`E16.ndjson`, `E16.folded`) are written too.
@@ -119,7 +119,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matched {wanted:?}; known ids are E1..E19 and `lockstat`");
+        eprintln!("no experiment matched {wanted:?}; known ids are E1..E20 and `lockstat`");
         std::process::exit(2);
     }
 }

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use machk_core::sync::host;
 use machk_core::RawSimpleLock;
 use machk_intr::{barrier_synchronize, spl_raise, spl_restore, BarrierOutcome, Machine, SplLevel};
 
@@ -71,7 +72,96 @@ pub fn run_report(quick: bool) -> (String, String) {
         u64::from(disciplined == BarrierOutcome::Completed) as f64,
         "bool",
     );
-    (t.render(), report.render())
+    let mut out = t.render();
+    out.push_str(&sim_section(&mut report));
+    (out, report.render())
+}
+
+/// The simulated-host half: the same three-processor scenario on three
+/// *virtual* CPUs under the seeded cooperative scheduler — the §7
+/// deadlock and its cure become schedule facts replayable from
+/// (scheduler seed, cores), with the watchdog deadline expiring in
+/// deterministic virtual time.
+#[cfg(feature = "sim")]
+fn sim_section(report: &mut BenchReport) -> String {
+    use machk_sim::{run as sim_run, SimConfig};
+
+    // Virtual-time deadline: the sim clock advances ~3 ns per
+    // scheduling step on 3 cores, so 100 virtual µs of spinning is
+    // tens of thousands of steps — far below the step-limit backstop,
+    // far above what the disciplined rendezvous needs.
+    let limit = Duration::from_micros(100);
+    let run_one = |disciplined: bool, seed: u64| -> (BarrierOutcome, u64) {
+        let slot = Arc::new(std::sync::Mutex::new(None));
+        let out = Arc::clone(&slot);
+        let sim = sim_run(
+            &SimConfig::DEFAULT.with_cores(3).with_seed(seed),
+            move || {
+                let outcome = scenario(disciplined, limit);
+                *out.lock().unwrap() = Some(outcome);
+            },
+        )
+        .unwrap_or_else(|e| panic!("E7 sim scenario failed: {e}"));
+        let outcome = slot.lock().unwrap().take().expect("scenario outcome");
+        (outcome, sim.clock_ns)
+    };
+
+    let (inconsistent, clock_a) = run_one(false, 0xE07);
+    let (inconsistent_b, clock_b) = run_one(false, 0xE07);
+    let (disciplined, _) = run_one(true, 0xE07);
+    assert_eq!(inconsistent, BarrierOutcome::Deadlocked);
+    assert_eq!(inconsistent, inconsistent_b);
+    assert_eq!(
+        clock_a, clock_b,
+        "same scheduler seed must replay the deadlock at the same virtual instant"
+    );
+    assert_eq!(disciplined, BarrierOutcome::Completed);
+
+    report.exact("sim_enabled", 1.0, "bool");
+    report.exact(
+        "sim_inconsistent_deadlocked",
+        u64::from(inconsistent == BarrierOutcome::Deadlocked) as f64,
+        "bool",
+    );
+    report.exact(
+        "sim_disciplined_completed",
+        u64::from(disciplined == BarrierOutcome::Completed) as f64,
+        "bool",
+    );
+    report.exact("sim_replay_identical", 1.0, "bool"); // asserted above
+
+    let mut t = Table::new(
+        "E7b: the same scenario on a simulated 3-core host (machk-sim)",
+        &["configuration", "barrier outcome", "virtual clock"],
+    );
+    t.row(&[
+        "inconsistent (seeded schedule, run twice)".into(),
+        format!("{inconsistent:?}"),
+        format!("{clock_a} ns == {clock_b} ns"),
+    ]);
+    t.row(&[
+        "disciplined (same seed)".into(),
+        format!("{disciplined:?}"),
+        "-".into(),
+    ]);
+    t.note("vCPUs, barrier spins, and the watchdog deadline all run on the Host trait");
+    t.render()
+}
+
+/// Without the sim feature the simulated campaign is compiled out.
+#[cfg(not(feature = "sim"))]
+fn sim_section(report: &mut BenchReport) -> String {
+    report.exact("sim_enabled", 0.0, "bool");
+    let mut t = Table::new(
+        "E7b: the same scenario on a simulated 3-core host (machk-sim)",
+        &["status"],
+    );
+    t.row(&[
+        "sim feature disabled: rebuild with `--features sim` to replay the §7 deadlock \
+         from a scheduler seed"
+            .to_string(),
+    ]);
+    t.render()
 }
 
 /// Run the three-processor scenario. With `disciplined`, both lock
@@ -100,6 +190,9 @@ fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
                         std::hint::black_box(());
                         lock.unlock_raw();
                         spl_restore(tok); // delivery point
+                        // Scheduling point: under machk-sim the loop
+                        // must let the other vCPUs run.
+                        host::spin_hint(host::SpinSite::Generic);
                     }
                 } else {
                     // Acquire at spl0 with interrupts enabled and *stay
@@ -109,7 +202,7 @@ fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
                     stage.store(1, Ordering::SeqCst);
                     while !finished.load(Ordering::SeqCst) {
                         cpu.poll(); // takes the barrier IPI while holding the lock
-                        core::hint::spin_loop();
+                        host::spin_hint(host::SpinSite::Generic);
                     }
                     lock.unlock_raw();
                 }
@@ -118,7 +211,7 @@ fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
             // ---- Processor 2: masked acquirer.
             1 => {
                 while stage.load(Ordering::SeqCst) < 1 {
-                    core::hint::spin_loop();
+                    host::spin_hint(host::SpinSite::Generic);
                 }
                 if disciplined {
                     // The same raise / acquire / release / restore cycle
@@ -129,6 +222,7 @@ fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
                         lock.lock_raw();
                         lock.unlock_raw();
                         spl_restore(tok);
+                        host::spin_hint(host::SpinSite::Generic);
                     }
                     return None;
                 }
@@ -144,7 +238,7 @@ fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
                         if finished.load(Ordering::SeqCst) {
                             break; // initiator gave up (watchdog)
                         }
-                        core::hint::spin_loop();
+                        host::spin_hint(host::SpinSite::Generic);
                     }
                 }
                 spl_restore(tok);
@@ -154,7 +248,7 @@ fn scenario(disciplined: bool, limit: Duration) -> BarrierOutcome {
             _ => {
                 while stage.load(Ordering::SeqCst) < 1 {
                     cpu.poll();
-                    core::hint::spin_loop();
+                    host::spin_hint(host::SpinSite::Generic);
                 }
                 let action: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(|_| {});
                 let outcome = barrier_synchronize(&machine, action, &[], limit);

@@ -9,8 +9,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use machk_core::sync::host;
 use machk_intr::{BarrierOutcome, Machine};
 use machk_vm::{PageId, TlbSystem};
 
@@ -70,7 +71,91 @@ pub fn run_report(quick: bool) -> (String, String) {
     assert!(exempt_ok);
     out.push_str(&t.render());
     report.exact("special_logic_consistent", u64::from(exempt_ok) as f64, "bool");
+    out.push_str(&sim_section(&mut report));
     (out, report.render())
+}
+
+/// The simulated-host half: the shootdown sweep and the special-logic
+/// trial on virtual CPUs — the §7 cost curve in deterministic virtual
+/// nanoseconds, and the pmap-exemption race replayable from a seed.
+#[cfg(feature = "sim")]
+fn sim_section(report: &mut BenchReport) -> String {
+    use std::sync::Mutex;
+
+    use machk_sim::{run as sim_run, SimConfig};
+
+    let run_one = |seed: u64, f: Box<dyn FnOnce() -> bool + Send>| -> (bool, u64) {
+        let slot = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        let sim = sim_run(&SimConfig::DEFAULT.with_cores(4).with_seed(seed), move || {
+            let r = f();
+            *out.lock().unwrap() = Some(r);
+        })
+        .unwrap_or_else(|e| panic!("E14 sim trial failed: {e}"));
+        let r = slot.lock().unwrap().take().expect("trial result");
+        (r, sim.clock_ns)
+    };
+
+    // The special-logic race on a seeded 4-core schedule, run twice:
+    // same outcome, same virtual clock — the exemption protocol is a
+    // schedule fact, not a timing accident.
+    let (ok_a, clock_a) = run_one(0xE14, Box::new(special_logic_trial));
+    let (ok_b, clock_b) = run_one(0xE14, Box::new(special_logic_trial));
+    assert!(ok_a, "special logic must converge under the simulated host");
+    assert_eq!(ok_a, ok_b);
+    assert_eq!(
+        clock_a, clock_b,
+        "same scheduler seed must replay the trial at the same virtual instant"
+    );
+
+    // The cost curve in virtual time: a 4-vCPU shootdown round trip,
+    // deterministic from the seed.
+    let (_, shoot_clock) = run_one(
+        0xE145,
+        Box::new(|| {
+            shootdown_latency(4, 8);
+            true
+        }),
+    );
+
+    report.exact("sim_enabled", 1.0, "bool");
+    report.exact(
+        "sim_special_logic_consistent",
+        u64::from(ok_a) as f64,
+        "bool",
+    );
+    report.exact("sim_replay_identical", 1.0, "bool"); // asserted above
+    report.info("sim_shootdown_8round_clock_ns", shoot_clock as f64, "ns");
+
+    let mut t = Table::new(
+        "E14c: simulated 4-core host (machk-sim)",
+        &["trial", "outcome", "virtual clock"],
+    );
+    t.row(&[
+        "special logic (seeded schedule, run twice)".into(),
+        if ok_a { "consistent".into() } else { "FAILED".to_string() },
+        format!("{clock_a} ns == {clock_b} ns"),
+    ]);
+    t.row(&[
+        "8 shootdown rounds, 4 vCPUs".into(),
+        "completed".into(),
+        format!("{shoot_clock} ns"),
+    ]);
+    t.note("vCPUs, IPIs, barrier spins, and watchdog deadlines all run on the Host trait");
+    t.render()
+}
+
+/// Without the sim feature the simulated campaign is compiled out.
+#[cfg(not(feature = "sim"))]
+fn sim_section(report: &mut BenchReport) -> String {
+    report.exact("sim_enabled", 0.0, "bool");
+    let mut t = Table::new("E14c: simulated 4-core host (machk-sim)", &["status"]);
+    t.row(&[
+        "sim feature disabled: rebuild with `--features sim` to replay the shootdown \
+         sweep and the pmap-exemption race from a scheduler seed"
+            .to_string(),
+    ]);
+    t.render()
 }
 
 /// Mean shootdown latency (µs) over `rounds` shootdowns on `cpus`
@@ -84,16 +169,18 @@ fn shootdown_latency(cpus: usize, rounds: u32) -> f64 {
         if cpu.id() == 0 {
             for i in 0..rounds {
                 tlb.cache_translation(0, 0x1000 * i as u64, PageId(i));
-                let t0 = Instant::now();
+                // Host clock: wall time on the OS host, deterministic
+                // virtual time under machk-sim.
+                let t0 = host::now();
                 let outcome = tlb.shootdown_update(0, || {}, Duration::from_secs(10));
                 assert_eq!(outcome, BarrierOutcome::Completed);
-                total_ns.fetch_add(t0.elapsed().as_nanos() as usize, Ordering::Relaxed);
+                total_ns.fetch_add(host::now().saturating_sub(t0) as usize, Ordering::Relaxed);
             }
             done.store(true, Ordering::SeqCst);
         } else {
             while !done.load(Ordering::SeqCst) {
                 cpu.poll();
-                core::hint::spin_loop();
+                host::spin_hint(host::SpinSite::Generic);
             }
         }
     });
@@ -116,13 +203,13 @@ fn special_logic_trial() -> bool {
             stage.store(1, Ordering::SeqCst);
             // Wait for CPU 1 to be visibly attempting the lock, then
             // shoot down while holding it.
-            let t0 = Instant::now();
+            let t0 = host::now();
             while !tlb_busy(&tlb, 1) {
-                if t0.elapsed() > Duration::from_secs(10) {
+                if host::now().saturating_sub(t0) > Duration::from_secs(10).as_nanos() as u64 {
                     ok.store(false, Ordering::SeqCst);
                     break;
                 }
-                core::hint::spin_loop();
+                host::spin_hint(host::SpinSite::Generic);
             }
             let outcome = tlb.shootdown_update_locked(&guard, || {}, Duration::from_secs(10));
             if outcome != BarrierOutcome::Completed {
@@ -135,7 +222,7 @@ fn special_logic_trial() -> bool {
             tlb.cache_translation(0, 0xC000, PageId(9));
             while stage.load(Ordering::SeqCst) < 1 {
                 cpu.poll();
-                core::hint::spin_loop();
+                host::spin_hint(host::SpinSite::Generic);
             }
             {
                 let _guard = tlb.lock_pmap(0); // spins masked until CPU 0 releases
@@ -150,7 +237,7 @@ fn special_logic_trial() -> bool {
         _ => {
             while stage.load(Ordering::SeqCst) < 3 {
                 cpu.poll();
-                core::hint::spin_loop();
+                host::spin_hint(host::SpinSite::Generic);
             }
         }
     });

@@ -1,8 +1,8 @@
-//! Experiments E1–E19: one module per entry in DESIGN.md's experiment
+//! Experiments E1–E20: one module per entry in DESIGN.md's experiment
 //! index. Each experiment exposes the uniform
 //! `run_report(quick) -> (table, json)` shape: the rendered tables the
 //! `experiments` binary prints, plus a `machk-bench/v1` envelope (see
-//! [`crate::report`]) written as `BENCH_E01.json`…`BENCH_E19.json`
+//! [`crate::report`]) written as `BENCH_E01.json`…`BENCH_E20.json`
 //! under `--artifacts` and gated by `bench-compare`. `run(quick)` is
 //! the table-only convenience wrapper.
 //!
@@ -28,6 +28,7 @@ pub mod e16_lockstat;
 pub mod e17_chaos;
 pub mod e18_sim;
 pub mod e19_ipc_storm;
+pub mod e20_crash_storm;
 
 /// The uniform runner shape: `run_report(quick)` returns the rendered
 /// tables plus the `machk-bench/v1` JSON envelope.
@@ -135,6 +136,11 @@ pub fn all() -> Vec<Experiment> {
             "E19",
             "IPC engine storms: sharded namespace + lock-free rings at RPC scale",
             e19_ipc_storm::run_report,
+        ),
+        (
+            "E20",
+            "Crash-and-overload storm: supervision, poisoning, reconciliation, shedding",
+            e20_crash_storm::run_report,
         ),
     ]
 }

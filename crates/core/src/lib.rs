@@ -51,9 +51,10 @@ pub use machk_event::{
 };
 pub use machk_lock::{ComplexLock, HowHeld, RwData, UpgradeFailed};
 pub use machk_refcount::{
-    Deactivated, DrainAudit, DrainableCount, LockedRefCount, ObjHeader, ObjRef, Refable,
-    ShardedRefCount,
+    CrashReconciliation, Deactivated, DrainAudit, DrainableCount, LockedRefCount, ObjHeader,
+    ObjRef, Refable, ShardedRefCount,
 };
 pub use machk_sync::{
-    AdaptiveSpin, Backoff, JitterBackoff, LockTimeout, RawSimpleLock, SimpleLocked, SpinPolicy,
+    AdaptiveSpin, Backoff, JitterBackoff, LockError, LockTimeout, Poisoned, RawSimpleLock,
+    SimpleLocked, SpinPolicy,
 };

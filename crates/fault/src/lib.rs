@@ -112,6 +112,15 @@ pub fn is_armed() -> bool {
     PLAN.lock().unwrap().is_some()
 }
 
+/// Whether the installed plan (if any) can ever fire `site`. Lets a
+/// subsystem decide *up front* whether to pay for recovery machinery —
+/// the IPC engine, for example, only checkpoints worker state when a
+/// plan could actually kill a worker, so unperturbed storms keep their
+/// zero-overhead hot path.
+pub fn site_enabled(site: FaultSite) -> bool {
+    PLAN.lock().unwrap().is_some_and(|p| p.rate(site) > 0)
+}
+
 /// Declare the calling thread's role. Decision streams are derived
 /// from `(plan seed, role)`, so scenario threads that want replayable
 /// streams must each declare a distinct, stable role before their first

@@ -57,11 +57,22 @@ pub enum FaultSite {
     /// as arriving at the wrong interrupt priority level, exercising the
     /// section-7 one-level rule's diagnosis path.
     SplWrongLevel = 9,
+    /// `machk-ipc` engine worker, top of the per-op loop: the worker
+    /// panics *between* operations — no lock held, no reference in
+    /// flight. The supervisor must detect the corpse, drain its ring
+    /// entries, re-home its ports, and restart it from its checkpoint.
+    WorkerCrash = 10,
+    /// `machk-ipc` engine worker, *inside* a critical section: the
+    /// worker panics while holding its scratch simple lock mid-update.
+    /// The panic-safe guard poisons the lock; the next acquirer must
+    /// observe the typed `Poisoned` diagnosis and repair the protected
+    /// invariant instead of spinning forever.
+    WorkerCrashHolding = 11,
 }
 
 impl FaultSite {
     /// Number of sites (array dimension for rate tables and counters).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every site, in discriminant order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -75,6 +86,8 @@ impl FaultSite {
         FaultSite::RpcDeadPort,
         FaultSite::RpcDropReply,
         FaultSite::SplWrongLevel,
+        FaultSite::WorkerCrash,
+        FaultSite::WorkerCrashHolding,
     ];
 
     /// Stable snake_case name, used in rendered fault traces and the
@@ -91,6 +104,8 @@ impl FaultSite {
             FaultSite::RpcDeadPort => "rpc_dead_port",
             FaultSite::RpcDropReply => "rpc_drop_reply",
             FaultSite::SplWrongLevel => "spl_wrong_level",
+            FaultSite::WorkerCrash => "worker_crash",
+            FaultSite::WorkerCrashHolding => "worker_crash_holding",
         }
     }
 }

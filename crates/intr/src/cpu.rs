@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
+use machk_sync::host;
 use machk_sync::SimpleLocked;
 
 use crate::spl::SplLevel;
@@ -203,23 +204,91 @@ impl Machine {
         &self.cpus
     }
 
-    /// Run one closure per CPU, each on its own OS thread bound to that
+    /// Run one closure per CPU, each on its own thread bound to that
     /// CPU, and join them all (convenience for tests and experiments).
+    ///
+    /// Threads come from the ambient [`machk_sync::host`]: with no host
+    /// installed this is `std::thread::scope` on OS threads, unchanged;
+    /// under a simulated host (machk-sim) the vCPU threads are spawned
+    /// through [`host::spawn`], so the whole machine — barriers,
+    /// shootdowns, interrupt storms — runs on the deterministic
+    /// scheduler and replays from its seed.
     pub fn run<R: Send>(&self, f: impl Fn(&Arc<Cpu>) -> R + Sync) -> Vec<R> {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .cpus
-                .iter()
-                .map(|cpu| {
-                    let f = &f;
-                    s.spawn(move || {
-                        let _g = cpu.enter();
-                        f(cpu)
+        if host::current_host().is_none() {
+            return std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .cpus
+                    .iter()
+                    .map(|cpu| {
+                        let f = &f;
+                        s.spawn(move || {
+                            let _g = cpu.enter();
+                            f(cpu)
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        }
+        self.run_hosted(&f)
+    }
+
+    /// The hosted (simulated) spawn path of [`Machine::run`]: a
+    /// hand-rolled scoped spawn, because [`host::spawn`] requires
+    /// `'static` bodies while `run` deliberately accepts borrowing
+    /// closures (every call site captures locks and flags by
+    /// reference).
+    fn run_hosted<R: Send>(&self, f: &(impl Fn(&Arc<Cpu>) -> R + Sync)) -> Vec<R> {
+        type Slot<R> = Arc<std::sync::Mutex<Option<std::thread::Result<R>>>>;
+        let slots: Vec<Slot<R>> = (0..self.cpus.len()).map(|_| Slot::default()).collect();
+        let tokens: Vec<_> = self
+            .cpus
+            .iter()
+            .zip(&slots)
+            .map(|(cpu, slot)| {
+                let cpu = Arc::clone(cpu);
+                let slot = Arc::clone(slot);
+                let body: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    // Panics are captured into the slot (never unwound
+                    // into the host runtime) and re-thrown after every
+                    // vCPU joined — the same semantics thread::scope
+                    // gives the OS path.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _g = cpu.enter();
+                        f(&cpu)
+                    }));
+                    *slot.lock().unwrap() = Some(out);
+                });
+                // SAFETY: `body` borrows `f` (and `R` may borrow from
+                // the caller), so its true lifetime is this stack
+                // frame. Extending it to the `'static` that
+                // `host::spawn` requires is sound because every token
+                // is joined below before this frame returns: the body
+                // has finished and been dropped while all its borrows
+                // are still live. This is the classic scoped-spawn
+                // contract, upheld manually.
+                let body: Box<dyn FnOnce() + Send + 'static> =
+                    unsafe { std::mem::transmute(body) };
+                host::spawn(body)
+            })
+            .collect();
+        for token in tokens {
+            host::join(token);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                match slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("joined vCPU left no result")
+                {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })
+            .collect()
     }
 }
 

@@ -1,4 +1,5 @@
-//! The async IPC engine: a thread-per-core RPC dispatch loop.
+//! The async IPC engine: a thread-per-core RPC dispatch loop with a
+//! crash-survival supervisor.
 //!
 //! This is the production-shaped server core the ROADMAP's north star
 //! asks for, assembled entirely from this crate's own pieces:
@@ -41,16 +42,75 @@
 //! determinism probe. (On a real OS host the interleaving is the OS's,
 //! so only per-worker streams, the counters' sums, and the ledgers are
 //! reproducible; the digest is then just a checksum.)
+//!
+//! ## Crash survival (E20)
+//!
+//! A storm becomes **supervised** when a kill is possible: either
+//! [`EngineConfig::crash_at`] schedules deterministic worker deaths, or
+//! (under the `fault` feature) the installed plan arms the
+//! `worker_crash` / `worker_crash_holding` sites. Supervision is a
+//! *runtime* mode, decided per storm — an unsupervised storm pays
+//! nothing for it (no checkpoint writes, no scratch-lock traffic), so
+//! the E19 throughput and determinism claims are untouched.
+//!
+//! Supervised workers run under `catch_unwind` and write a
+//! `Checkpoint` — op cursor, mix state, sequence counter, tally,
+//! churn list — at the top of every operation. When a worker dies the
+//! supervisor counts the crash, drains the transfer ring the corpse
+//! fed, bumps the checkpoint generation, and respawns the worker, which
+//! resumes the *same seeded op stream* from the checkpoint with the
+//! corpse's churn ports re-homed to it. Three mechanisms make the
+//! re-run safe:
+//!
+//! * **Idempotent RPC retry** — every workload RPC goes through
+//!   [`DispatchTable::msg_rpc_retry`] with a generation-qualified
+//!   sequence number, so a reply lost to a fault-injected drop is
+//!   answered from the [`ReplyCache`] without re-executing the handler
+//!   or moving the §10 ledger twice.
+//! * **Poisoned-lock repair** — each supervised op briefly holds the
+//!   engine's scratch [`RawSimpleLock`] and bumps a counter twice
+//!   (even → even). A worker killed mid-hold leaves the lock
+//!   *poisoned* (never held forever): the next acquirer observes the
+//!   typed [`LockError::Poisoned`], clears it, re-acquires, and
+//!   repairs the parity under the guard.
+//! * **Ledger reconciliation** — whatever a dead incarnation leaked
+//!   (a task created after its last checkpoint, a name abandoned by
+//!   retry exhaustion) is still published at teardown; the engine
+//!   drains the namespace, destroys the orphans, and repairs the
+//!   object ledger in one audited
+//!   [`ShardedRefCount::reconcile_crash`] pass. An orphan's create
+//!   *count* rolled back with the dead incarnation's tally, so the
+//!   counted books still balance as `creates == terminates`, while
+//!   [`EngineReport::reconciled`] counts exactly the uncounted
+//!   orphans — and the final audit is still exactly the creation
+//!   reference.
+//!
+//! ## Overload shedding
+//!
+//! Degradation is graceful and *accounted*: when the transfer ring sits
+//! at or above its watermark (3/4 of [`EngineConfig::transfer_limit`]),
+//! workers shed **pings** — the cheap, retryable traffic class — and
+//! count them in [`EngineReport::shed`], while creates, terminates, and
+//! transfers still land. [`EngineConfig::burst_every`]/`burst_len`
+//! carve periodic windows of forced transfers with draining suspended,
+//! driving the ring to the watermark on demand (the E20 overload
+//! probe). Shedding never consumes extra decision-stream draws, so the
+//! create/terminate/transfer mix stays a pure function of the seed even
+//! when the shed count is schedule-dependent.
 
-use std::sync::Arc;
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use machk_core::sync::host;
-use machk_core::{Kobj, ObjRef, ShardedRefCount};
+use machk_core::{Kobj, LockError, ObjRef, RawSimpleLock, ShardedRefCount};
 
 use crate::message::Message;
 use crate::namespace::{PortName, PortNameSpace};
 use crate::port::{Port, PortError};
-use crate::rpc::{DispatchTable, KernError, RefSemantics, RpcError, RpcStats};
+use crate::rpc::{DispatchTable, KernError, RefSemantics, ReplyCache, RpcError, RpcStats};
 
 /// Echo RPC against a task object: the engine's hot path.
 pub const OP_PING: u32 = 0x1901;
@@ -72,6 +132,37 @@ type Task = Kobj<EngineTask>;
 struct EngineServer;
 type Server = Kobj<EngineServer>;
 
+/// Where within an operation a scheduled kill fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// At the top of the op, after the checkpoint and before any RPC
+    /// (the checkpoint is consistent; nothing leaks).
+    OpStart,
+    /// After a create RPC's reply arrives but *before* the worker
+    /// records the new name anywhere a survivor can see — the name and
+    /// its object-ledger reference leak, and teardown reconciliation
+    /// must repair both.
+    AfterCreate,
+    /// Inside the scratch-lock critical section with the parity
+    /// invariant torn — the lock is left poisoned for the next
+    /// acquirer's repair protocol.
+    Holding,
+}
+
+/// A scheduled worker kill for supervised storms: worker `worker` dies
+/// at the first opportunity of kind [`kind`](CrashKind) at or after op
+/// `op` — and only in its **first incarnation**, so a scheduled crash
+/// can never livelock the supervisor with an eternal restart loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Victim worker index.
+    pub worker: usize,
+    /// Earliest op index at which the kill may fire.
+    pub op: usize,
+    /// Where within the op it fires.
+    pub kind: CrashKind,
+}
+
 /// Storm shape. All fields are plain data so a config embeds in
 /// experiment JSON and replays exactly.
 #[derive(Debug, Clone)]
@@ -85,7 +176,8 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Pre-published stable ping targets.
     pub stable_ports: usize,
-    /// Ring limit of the shared transfer port.
+    /// Ring limit of the shared transfer port. The shedding watermark
+    /// is 3/4 of this.
     pub transfer_limit: usize,
     /// Batch-drain the transfer ring every this many operations.
     pub drain_every: usize,
@@ -96,6 +188,20 @@ pub struct EngineConfig {
     /// Modeled per-namespace-op critical-section cost (virtual ns,
     /// `machk-sim` only; see [`PortNameSpace::with_shards_modeled`]).
     pub ns_cs_work_ns: u64,
+    /// Scheduled worker kills (tests and the E20 storm). Non-empty
+    /// switches the storm into supervised mode.
+    pub crash_at: Vec<CrashPoint>,
+    /// Overload-burst period in ops (0 = no bursts). Within each
+    /// period the first [`burst_len`](EngineConfig::burst_len) ops are
+    /// forced transfers with draining suspended, pushing the ring
+    /// toward its limit so shedding engages.
+    pub burst_every: usize,
+    /// Ops per burst window (must be < `burst_every` when bursting).
+    pub burst_len: usize,
+    /// Per-RPC retry deadline in host-clock nanoseconds (the budget
+    /// [`DispatchTable::msg_rpc_retry`] spends on transport-class
+    /// failures before abandoning the op to teardown reconciliation).
+    pub rpc_deadline_ns: u64,
 }
 
 impl Default for EngineConfig {
@@ -110,7 +216,27 @@ impl Default for EngineConfig {
             seed: 0x1991_0715,
             semantics: RefSemantics::Mach30,
             ns_cs_work_ns: 0,
+            crash_at: Vec::new(),
+            burst_every: 0,
+            burst_len: 0,
+            rpc_deadline_ns: 50_000_000,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Whether a first-incarnation worker is due a scheduled kill of
+    /// `kind` at this op.
+    fn crash_due(&self, worker: usize, op: usize, kind: CrashKind) -> bool {
+        self.crash_at
+            .iter()
+            .any(|c| c.worker == worker && op >= c.op && c.kind == kind)
+    }
+
+    /// Ring occupancy at which pings are shed (at least 1 so an empty
+    /// ring never sheds).
+    fn shed_watermark(&self) -> usize {
+        (self.transfer_limit.saturating_mul(3) / 4).max(1)
     }
 }
 
@@ -137,14 +263,40 @@ pub struct EngineReport {
     pub transfer_full: u64,
     /// Messages batch-drained from the transfer ring.
     pub drained: u64,
+    /// Pings shed by overload control at the ring watermark (counted,
+    /// never silent).
+    pub shed: u64,
+    /// Worker incarnations killed and recovered by the supervisor.
+    pub crashes: u64,
+    /// Churn ports restarted incarnations inherited from their corpses.
+    pub rehomed_ports: u64,
+    /// Orphaned names (and their object-ledger references) repaired by
+    /// the teardown [`ShardedRefCount::reconcile_crash`] pass.
+    pub reconciled: u64,
+    /// Times the scratch lock was observed in the typed poisoned state.
+    pub poison_observed: u64,
+    /// Torn scratch invariants repaired under the re-acquired lock.
+    pub scratch_repairs: u64,
+    /// RPC retries that followed a dropped reply or dead-port race.
+    pub retries: u64,
+    /// RPCs whose retry deadline expired (op abandoned; any leaked
+    /// state lands in `reconciled`).
+    pub retry_exhausted: u64,
+    /// Scratch-lock acquisitions abandoned on deadline.
+    pub lock_timeouts: u64,
     /// Wall/virtual time of the storm, from [`host::now`].
     pub elapsed_ns: u64,
+    /// Total supervisor recovery time across all crashes (host-clock
+    /// ns; excluded from the replay fingerprint, like `elapsed_ns`).
+    pub recovery_ns_total: u64,
+    /// Longest single recovery (host-clock ns; fingerprint-excluded).
+    pub recovery_ns_max: u64,
     /// Order-insensitive checksum over every reply payload.
     pub digest: u64,
     /// `RpcStats` translation ledger balanced at quiescence.
     pub rpc_balanced: bool,
     /// Object-ledger audit result (must be 1: only the creation
-    /// reference outlives the storm).
+    /// reference outlives the storm, even after crash reconciliation).
     pub ledger_total: u64,
 }
 
@@ -158,7 +310,9 @@ impl EngineReport {
     }
 
     /// Fold the whole report into one word — the replay fingerprint the
-    /// E19 determinism probe compares byte-for-byte.
+    /// E19/E20 determinism probes compare byte-for-byte. Time-valued
+    /// fields (`elapsed_ns`, `recovery_ns_*`) are excluded; everything
+    /// else, including the crash-survival counters, must replay.
     pub fn fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         for v in [
@@ -170,6 +324,15 @@ impl EngineReport {
             self.transfers,
             self.transfer_full,
             self.drained,
+            self.shed,
+            self.crashes,
+            self.rehomed_ports,
+            self.reconciled,
+            self.poison_observed,
+            self.scratch_repairs,
+            self.retries,
+            self.retry_exhausted,
+            self.lock_timeouts,
             self.digest,
             self.ledger_total,
             u64::from(self.rpc_balanced),
@@ -181,7 +344,9 @@ impl EngineReport {
 }
 
 /// SplitMix64: the workload's per-worker decision stream. Tiny, seeded,
-/// and dependency-free (the engine must not pull in the fault crate).
+/// and dependency-free; its whole state is one word, so a checkpoint
+/// captures it exactly and a restarted incarnation resumes the same
+/// stream mid-flight.
 struct Mix(u64);
 
 impl Mix {
@@ -199,8 +364,11 @@ impl Mix {
     }
 }
 
-/// Per-worker tallies, merged order-insensitively at join.
-#[derive(Default)]
+/// Per-worker tallies, merged order-insensitively at join. Clonable so
+/// checkpoints can snapshot them: a crashed incarnation's progress
+/// since its last checkpoint is deliberately discarded (the resumed
+/// incarnation re-runs and re-counts those ops exactly once).
+#[derive(Clone, Default)]
 struct WorkerTally {
     rpcs: u64,
     pings: u64,
@@ -210,7 +378,102 @@ struct WorkerTally {
     transfers: u64,
     transfer_full: u64,
     drained: u64,
+    shed: u64,
+    rehomed: u64,
+    poison_observed: u64,
+    scratch_repairs: u64,
+    retries: u64,
+    retry_exhausted: u64,
+    lock_timeouts: u64,
     digest: u64,
+}
+
+/// A worker's last consistent state, written at the top of every op in
+/// supervised storms (and never touched otherwise). A restarted
+/// incarnation resumes from here; the ops between the checkpoint and
+/// the crash re-run, and the generation-qualified idempotent sequence
+/// numbers keep those re-runs from double-moving the §10 ledgers.
+#[derive(Clone)]
+struct Checkpoint {
+    next_op: usize,
+    mix: u64,
+    seq: u64,
+    generation: u32,
+    tally: WorkerTally,
+    churn: Vec<PortName>,
+}
+
+/// Everything a worker incarnation touches, bundled so the supervisor
+/// can hand identical state to a restart.
+struct Shared {
+    cfg: EngineConfig,
+    ns: Arc<PortNameSpace>,
+    table: Arc<DispatchTable>,
+    stats: Arc<RpcStats>,
+    server_port: ObjRef<Port>,
+    transfer: ObjRef<Port>,
+    stable: Arc<Vec<PortName>>,
+    /// Idempotent-retry reply cache shared by every incarnation.
+    cache: ReplyCache,
+    /// The crash-survival drill ground: a lock a worker can die
+    /// holding, plus the invariant (`scratch` is even outside any
+    /// hold) that the poison/repair protocol restores.
+    scratch_lock: RawSimpleLock,
+    scratch: AtomicU64,
+    supervised: bool,
+}
+
+/// Hard cap on supervisor restart rounds: far above any seeded plan's
+/// realistic crash count, so hitting it means the storm is livelocked
+/// (e.g. a plan that kills every incarnation deterministically).
+const MAX_SUPERVISION_ROUNDS: usize = 64;
+
+/// Sequence-number space: worker index and generation qualify the
+/// per-incarnation counter so no two incarnations (or the teardown
+/// path) can collide in the reply cache.
+fn seq_key(index: usize, generation: u32, seq: u64) -> u64 {
+    ((index as u64 & 0xFFFF) << 48) | ((u64::from(generation) & 0xFFFF) << 32) | (seq & 0xFFFF_FFFF)
+}
+
+/// Reserved `seq_key` index for the teardown terminates (no worker can
+/// use it: `Engine::new` caps `workers` below this).
+const TEARDOWN_INDEX: usize = 0xFFFF;
+
+/// Whether the installed fault plan can kill workers (armed
+/// `worker_crash` / `worker_crash_holding` sites) — one of the two
+/// triggers for supervised mode.
+fn crash_sites_armed() -> bool {
+    #[cfg(feature = "fault")]
+    {
+        machk_fault::site_enabled(machk_fault::FaultSite::WorkerCrash)
+            || machk_fault::site_enabled(machk_fault::FaultSite::WorkerCrashHolding)
+    }
+    #[cfg(not(feature = "fault"))]
+    false
+}
+
+thread_local! {
+    /// Set while a supervised worker body runs: its injected-kill
+    /// panics are *expected*, so the default panic banner is suppressed
+    /// for that thread (the supervisor still receives the payload via
+    /// `catch_unwind`; genuine bugs in unsupervised storms keep the
+    /// banner and are re-thrown).
+    static EXPECTED_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Chain a quiet filter in front of whatever panic hook is installed.
+/// Installed once per process, only when a supervised storm first runs,
+/// so unsupervised processes never touch the hook at all.
+fn install_quiet_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !EXPECTED_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
 }
 
 /// Trace one completed dispatch-loop batch (`obs` feature): the
@@ -247,6 +510,23 @@ fn obs_engine_batch(_ops: u64) {}
 /// assert_eq!(report.ledger_total, 1, "object ledger balanced");
 /// assert!(report.dead_hits > 0, "dead-port churn exercised");
 /// ```
+///
+/// Surviving a scheduled mid-storm worker kill:
+///
+/// ```
+/// use machk_ipc::engine::{CrashKind, CrashPoint, Engine, EngineConfig};
+///
+/// let report = Engine::new(EngineConfig {
+///     workers: 2,
+///     ops_per_worker: 2_000,
+///     crash_at: vec![CrashPoint { worker: 1, op: 500, kind: CrashKind::OpStart }],
+///     ..EngineConfig::default()
+/// })
+/// .run();
+/// assert_eq!(report.crashes, 1, "the kill fired and was recovered");
+/// assert_eq!(report.ledger_total, 1, "ledger balanced after recovery");
+/// assert_eq!(report.creates, report.terminates, "counted books balance");
+/// ```
 pub struct Engine {
     cfg: EngineConfig,
     ns: Arc<PortNameSpace>,
@@ -266,8 +546,17 @@ impl Engine {
     // the ledger drained to zero (`drain_audit`).
     pub fn new(cfg: EngineConfig) -> Engine {
         assert!(cfg.workers >= 1, "at least one worker");
+        assert!(cfg.workers < TEARDOWN_INDEX, "worker count exceeds the seq-key space");
         assert!(cfg.stable_ports >= 1, "at least one ping target");
         assert!(cfg.drain_every >= 1, "drain_every must be at least 1");
+        assert!(
+            cfg.burst_every == 0 || cfg.burst_len < cfg.burst_every,
+            "burst windows must fit their period"
+        );
+        for c in &cfg.crash_at {
+            assert!(c.worker < cfg.workers, "crash point targets a real worker");
+            assert!(c.op < cfg.ops_per_worker, "crash point lands inside the storm");
+        }
         let ns = Arc::new(PortNameSpace::with_shards_modeled(
             cfg.shards,
             cfg.ns_cs_work_ns,
@@ -354,107 +643,258 @@ impl Engine {
         &self.ns
     }
 
-    /// One worker's storm: the seeded op mix described in the module
-    /// docs. Returns its tally for order-insensitive merging.
-    #[allow(clippy::too_many_arguments)]
-    fn worker(
+    /// The supervised storms' poison/repair drill: briefly hold the
+    /// scratch lock and bump the counter twice (even → even). A
+    /// [`CrashKind::Holding`] kill panics between the bumps, leaving
+    /// the count odd and the lock poisoned; whoever acquires next
+    /// repairs the parity under the guard. Validation is value-based
+    /// (any holder seeing odd repairs it), so correctness never depends
+    /// on which racer saw the advisory poison flag first.
+    fn scratch_section(
+        shared: &Shared,
         index: usize,
-        cfg: &EngineConfig,
-        ns: &PortNameSpace,
-        table: &DispatchTable,
-        stats: &RpcStats,
-        server_port: &ObjRef<Port>,
-        transfer: &ObjRef<Port>,
-        stable: &[PortName],
-    ) -> WorkerTally {
-        let mut mix = Mix::new(cfg.seed, index);
-        let mut t = WorkerTally::default();
-        // Names this worker created and has not yet terminated.
-        let mut churn: Vec<PortName> = Vec::new();
+        op: usize,
+        generation: u32,
+        t: &mut WorkerTally,
+        limit: Duration,
+    ) {
+        match shared.scratch_lock.lock_checked(limit) {
+            Ok(_guard) => {
+                // relaxed: mutated only under scratch_lock; the guard's
+                // acquire/release ordering publishes every store.
+                let v = shared.scratch.load(Ordering::Relaxed);
+                if v & 1 == 1 {
+                    // A repairer cleared the poison but we won the lock
+                    // race before it re-acquired: the tear is ours.
+                    // relaxed: under scratch_lock, see above.
+                    shared.scratch.store(v + 1, Ordering::Relaxed);
+                    t.scratch_repairs += 1;
+                    return;
+                }
+                // relaxed: under scratch_lock, see above.
+                shared.scratch.store(v + 1, Ordering::Relaxed);
+                if generation == 0 && shared.cfg.crash_due(index, op, CrashKind::Holding) {
+                    panic!("injected crash: worker {index} at op {op} (holding scratch lock)");
+                }
+                #[cfg(feature = "fault")]
+                if machk_fault::fire(machk_fault::FaultSite::WorkerCrashHolding) {
+                    panic!("injected crash: worker {index} at op {op} (seeded, holding scratch lock)");
+                }
+                // relaxed: under scratch_lock, see above.
+                shared.scratch.store(v + 2, Ordering::Relaxed);
+            }
+            Err(LockError::Poisoned(_)) => {
+                t.poison_observed += 1;
+                shared.scratch_lock.clear_poison();
+                // Re-acquire *normally* and repair under the guard:
+                // racing repairers serialize here; whoever wins fixes
+                // the parity and the losers see it already even.
+                let _guard = shared.scratch_lock.lock();
+                // relaxed: under scratch_lock, see above.
+                let v = shared.scratch.load(Ordering::Relaxed);
+                if v & 1 == 1 {
+                    // relaxed: under scratch_lock, see above.
+                    shared.scratch.store(v + 1, Ordering::Relaxed);
+                    t.scratch_repairs += 1;
+                }
+            }
+            Err(LockError::Timeout(_)) => t.lock_timeouts += 1,
+        }
+    }
+
+    /// One worker *incarnation*: resume the seeded op stream from the
+    /// checkpoint in `slot` and run it to completion, checkpointing at
+    /// every op top when supervised. Returns the cumulative tally
+    /// (inherited through the checkpoint across restarts).
+    fn worker_resume(shared: &Shared, index: usize, slot: &Mutex<Checkpoint>) -> WorkerTally {
+        let cfg = &shared.cfg;
+        let resume = slot.lock().unwrap().clone();
+        let generation = resume.generation;
+        // Each incarnation declares a fresh fault role: replaying the
+        // dead incarnation's decision stream would kill every restart
+        // at the same op, forever.
+        #[cfg(feature = "fault")]
+        machk_fault::set_role(generation.wrapping_mul(cfg.workers as u32) + index as u32);
+
+        let mut mix = Mix(resume.mix);
+        let mut t = resume.tally;
+        let mut churn = resume.churn;
+        let mut seq = resume.seq;
+        if generation > 0 {
+            // The corpse's live tasks, re-homed to this incarnation.
+            t.rehomed += churn.len() as u64;
+        }
+        let deadline = Duration::from_nanos(cfg.rpc_deadline_ns.max(1));
+        let watermark = cfg.shed_watermark();
         let mut batch: Vec<Message> = Vec::with_capacity(cfg.drain_every);
 
-        for op in 0..cfg.ops_per_worker {
-            let roll = mix.next() % 100;
+        for op in resume.next_op..cfg.ops_per_worker {
+            if shared.supervised {
+                *slot.lock().unwrap() = Checkpoint {
+                    next_op: op,
+                    mix: mix.0,
+                    seq,
+                    generation,
+                    tally: t.clone(),
+                    churn: churn.clone(),
+                };
+                if generation == 0 && cfg.crash_due(index, op, CrashKind::OpStart) {
+                    panic!("injected crash: worker {index} at op {op} (op start)");
+                }
+                #[cfg(feature = "fault")]
+                if machk_fault::fire(machk_fault::FaultSite::WorkerCrash) {
+                    panic!("injected crash: worker {index} at op {op} (seeded)");
+                }
+                Self::scratch_section(shared, index, op, generation, &mut t, deadline);
+            }
+
+            let bursting = cfg.burst_every > 0 && op % cfg.burst_every < cfg.burst_len;
+            let roll = if bursting { 95 } else { mix.next() % 100 };
             if roll < 70 {
                 // Ping: translate a stable name, RPC against its task.
-                let name = stable[(mix.next() as usize) % stable.len()];
-                let port = ns.translate(name).expect("stable names stay published");
+                // The decision draws happen *before* the shed check so
+                // the op mix stays a pure function of the seed whether
+                // or not overload control engages.
+                let name = shared.stable[(mix.next() as usize) % shared.stable.len()];
                 let nonce = mix.next();
-                let reply = table
-                    .msg_rpc(
+                if shared.transfer.queued() >= watermark {
+                    // Overload: shed the cheap, retryable class —
+                    // counted, never silent — so terminates and
+                    // transfers still land.
+                    t.shed += 1;
+                } else {
+                    let port = shared.ns.translate(name).expect("stable names stay published");
+                    seq += 1;
+                    match shared.table.msg_rpc_retry(
                         &port,
-                        Message::new(OP_PING).with_int(nonce),
+                        || Message::new(OP_PING).with_int(nonce),
                         cfg.semantics,
-                        stats,
-                    )
-                    .expect("ping against a live task");
-                t.rpcs += 1;
-                t.pings += 1;
-                t.digest = t
-                    .digest
-                    .wrapping_add(reply.int_at(0).unwrap_or(0) ^ nonce.rotate_left(17));
+                        &shared.stats,
+                        seq_key(index, generation, seq),
+                        &shared.cache,
+                        deadline,
+                    ) {
+                        Ok((reply, retried)) => {
+                            t.rpcs += 1;
+                            t.pings += 1;
+                            t.retries += u64::from(retried);
+                            t.digest = t
+                                .digest
+                                .wrapping_add(reply.int_at(0).unwrap_or(0) ^ nonce.rotate_left(17));
+                        }
+                        Err(_) => t.retry_exhausted += 1,
+                    }
+                }
             } else if roll < 80 {
                 // Task create through the server RPC.
                 let id = mix.next();
-                let reply = table
-                    .msg_rpc(
-                        server_port,
-                        Message::new(OP_TASK_CREATE).with_int(id),
-                        cfg.semantics,
-                        stats,
-                    )
-                    .expect("create against the live server");
-                t.rpcs += 1;
-                t.creates += 1;
-                let name = PortName(reply.int_at(0).expect("create returns the name") as u32);
-                t.digest = t.digest.wrapping_add(u64::from(name.0).rotate_left(29));
-                churn.push(name);
+                seq += 1;
+                match shared.table.msg_rpc_retry(
+                    &shared.server_port,
+                    || Message::new(OP_TASK_CREATE).with_int(id),
+                    cfg.semantics,
+                    &shared.stats,
+                    seq_key(index, generation, seq),
+                    &shared.cache,
+                    deadline,
+                ) {
+                    Ok((reply, retried)) => {
+                        t.rpcs += 1;
+                        t.creates += 1;
+                        t.retries += u64::from(retried);
+                        let name =
+                            PortName(reply.int_at(0).expect("create returns the name") as u32);
+                        if shared.supervised {
+                            // The AfterCreate window: the task is
+                            // published and holds a ledger reference,
+                            // but the name is recorded nowhere a
+                            // survivor can see. Dying here leaks both;
+                            // teardown reconciliation repairs them.
+                            if generation == 0 && cfg.crash_due(index, op, CrashKind::AfterCreate) {
+                                panic!("injected crash: worker {index} at op {op} (after create)");
+                            }
+                            #[cfg(feature = "fault")]
+                            if machk_fault::fire(machk_fault::FaultSite::WorkerCrash) {
+                                panic!(
+                                    "injected crash: worker {index} at op {op} (seeded, after create)"
+                                );
+                            }
+                        }
+                        t.digest = t.digest.wrapping_add(u64::from(name.0).rotate_left(29));
+                        churn.push(name);
+                    }
+                    // Retry budget spent; if the create executed with
+                    // its reply lost, the orphan name is reconciled at
+                    // teardown.
+                    Err(_) => t.retry_exhausted += 1,
+                }
             } else if roll < 90 {
                 // Terminate one of ours, then probe the dead name/port.
                 if let Some(name) = churn.pop() {
                     // Keep a right across termination so the dead-port
                     // probe targets the *destroyed port*, not a recycled
                     // name.
-                    let doomed = ns.translate(name).expect("our churn name is published");
-                    table
-                        .msg_rpc(
-                            server_port,
-                            Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
-                            cfg.semantics,
-                            stats,
-                        )
-                        .expect("terminate our own task");
-                    t.rpcs += 1;
-                    t.terminates += 1;
-                    // Dead-port churn: the engine must observe the typed
-                    // §10 failure, never a stale translation.
-                    let err = table
-                        .msg_rpc(
-                            &doomed,
-                            Message::new(OP_PING).with_int(1),
-                            cfg.semantics,
-                            stats,
-                        )
-                        .expect_err("RPC at a destroyed port must fail");
-                    t.rpcs += 1;
-                    match err {
-                        RpcError::Port(PortError::NotAnObjectPort)
-                        | RpcError::Port(PortError::Dead)
-                        | RpcError::Operation(KernError::Deactivated) => t.dead_hits += 1,
-                        other => panic!("unexpected dead-port error: {other:?}"),
+                    let doomed = shared.ns.translate(name).expect("our churn name is published");
+                    seq += 1;
+                    match shared.table.msg_rpc_retry(
+                        &shared.server_port,
+                        || Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
+                        cfg.semantics,
+                        &shared.stats,
+                        seq_key(index, generation, seq),
+                        &shared.cache,
+                        deadline,
+                    ) {
+                        Ok((_reply, retried)) => {
+                            t.rpcs += 1;
+                            t.terminates += 1;
+                            t.retries += u64::from(retried);
+                            // Dead-port churn: the engine must observe
+                            // the typed §10 failure, never a stale
+                            // translation. (Plain dispatch: an expected
+                            // failure is not retried.)
+                            let err = shared
+                                .table
+                                .msg_rpc(
+                                    &doomed,
+                                    Message::new(OP_PING).with_int(1),
+                                    cfg.semantics,
+                                    &shared.stats,
+                                )
+                                .expect_err("RPC at a destroyed port must fail");
+                            t.rpcs += 1;
+                            match err {
+                                RpcError::Port(PortError::NotAnObjectPort)
+                                | RpcError::Port(PortError::Dead)
+                                | RpcError::Operation(KernError::Deactivated) => t.dead_hits += 1,
+                                other => panic!("unexpected dead-port error: {other:?}"),
+                            }
+                            assert!(
+                                shared.ns.translate(name).is_none(),
+                                "terminated name must not resolve"
+                            );
+                            t.digest = t.digest.wrapping_add(u64::from(name.0).rotate_left(43));
+                        }
+                        Err(_) => {
+                            // Retry budget spent. If the terminate
+                            // actually executed (its reply was lost on
+                            // the last attempt) the name is gone;
+                            // otherwise keep it for quiesce.
+                            t.retry_exhausted += 1;
+                            if shared.ns.translate(name).is_some() {
+                                churn.push(name);
+                            } else {
+                                t.terminates += 1;
+                            }
+                        }
                     }
-                    assert!(
-                        ns.translate(name).is_none(),
-                        "terminated name must not resolve"
-                    );
-                    t.digest = t.digest.wrapping_add(u64::from(name.0).rotate_left(43));
                 }
             } else {
                 // Port transfer: move a translated right through the
                 // shared ring (lock-free MPSC path under concurrency).
-                let name = stable[(mix.next() as usize) % stable.len()];
-                if let Some(right) = ns.translate(name) {
-                    match transfer.try_send(Message::new(0).with_port_right(right)) {
+                let name = shared.stable[(mix.next() as usize) % shared.stable.len()];
+                if let Some(right) = shared.ns.translate(name) {
+                    match shared.transfer.try_send(Message::new(0).with_port_right(right)) {
                         Ok(()) => t.transfers += 1,
                         // Full ring: right released with the returned
                         // message. (The transfer port is never destroyed
@@ -464,9 +904,11 @@ impl Engine {
                 }
             }
 
-            if op % cfg.drain_every == cfg.drain_every - 1 {
+            // Drains pause inside a burst window: the point of a burst
+            // is to hold the ring at the watermark so shedding engages.
+            if !bursting && op % cfg.drain_every == cfg.drain_every - 1 {
                 batch.clear();
-                if let Ok(n) = transfer.receive_batch(&mut batch, cfg.drain_every) {
+                if let Ok(n) = shared.transfer.receive_batch(&mut batch, cfg.drain_every) {
                     t.drained += n as u64;
                 }
                 batch.clear(); // rights released in bulk
@@ -475,87 +917,203 @@ impl Engine {
         }
 
         // Quiesce: terminate every task this worker still owns so the
-        // object ledger can balance.
-        for name in churn {
-            table
-                .msg_rpc(
-                    server_port,
-                    Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
-                    cfg.semantics,
-                    stats,
-                )
-                .expect("final terminate");
-            t.rpcs += 1;
-            t.terminates += 1;
+        // object ledger can balance. Checkpointed per iteration so a
+        // crash *during* quiesce resumes without re-terminating a name
+        // that already died.
+        while let Some(name) = churn.last().copied() {
+            if shared.supervised {
+                *slot.lock().unwrap() = Checkpoint {
+                    next_op: cfg.ops_per_worker,
+                    mix: mix.0,
+                    seq,
+                    generation,
+                    tally: t.clone(),
+                    churn: churn.clone(),
+                };
+            }
+            seq += 1;
+            match shared.table.msg_rpc_retry(
+                &shared.server_port,
+                || Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
+                cfg.semantics,
+                &shared.stats,
+                seq_key(index, generation, seq),
+                &shared.cache,
+                deadline,
+            ) {
+                Ok((_reply, retried)) => {
+                    t.rpcs += 1;
+                    t.terminates += 1;
+                    t.retries += u64::from(retried);
+                }
+                Err(_) => {
+                    t.retry_exhausted += 1;
+                    if shared.ns.translate(name).is_none() {
+                        // Executed, reply lost: the task is gone.
+                        t.terminates += 1;
+                    }
+                    // Otherwise abandoned: teardown reconciliation
+                    // repairs the orphan.
+                }
+            }
+            churn.pop();
         }
         t
     }
 
-    /// Run one storm: spawn the workers, join them, drain the transfer
-    /// ring, tear down the stable ports, audit both ledgers.
+    /// One supervised (or plain) execution of a worker body: panics are
+    /// caught and returned so the supervisor can distinguish a finished
+    /// tally from a corpse.
+    ///
+    /// `AssertUnwindSafe` holds because an unwound incarnation is
+    /// *discarded wholesale*: the supervisor restarts from the
+    /// checkpoint (the last pre-op consistent state) and every shared
+    /// structure the corpse touched is either lock-free, internally
+    /// consistent under its own locks, or — for the scratch lock —
+    /// explicitly poison-aware.
+    fn worker_body(
+        shared: &Shared,
+        index: usize,
+        slot: &Mutex<Checkpoint>,
+    ) -> Result<WorkerTally, Box<dyn std::any::Any + Send>> {
+        if shared.supervised {
+            EXPECTED_PANICS.with(|s| s.set(true));
+        }
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| Self::worker_resume(shared, index, slot)));
+        EXPECTED_PANICS.with(|s| s.set(false));
+        outcome
+    }
+
+    /// Run one storm: spawn the workers under supervision, restart any
+    /// that crash from their checkpoints, drain the transfer ring, tear
+    /// down the stable ports, reconcile whatever crashed incarnations
+    /// leaked, and audit both ledgers.
     ///
     /// Consumes the engine: a storm ends with the namespace drained and
     /// every engine object released, so the ledgers can be audited —
     /// build a fresh engine per storm.
     pub fn run(self) -> EngineReport {
         let start = host::now();
+        let supervised = !self.cfg.crash_at.is_empty() || crash_sites_armed();
+        if supervised {
+            install_quiet_panic_hook();
+        }
         let workers = self.cfg.workers;
-        let mut tallies: Vec<WorkerTally> = Vec::with_capacity(workers);
+        let shared = Arc::new(Shared {
+            cfg: self.cfg.clone(),
+            ns: Arc::clone(&self.ns),
+            table: Arc::clone(&self.table),
+            stats: Arc::clone(&self.stats),
+            server_port: self.server_port.clone(),
+            transfer: self.transfer.clone(),
+            stable: Arc::clone(&self.stable),
+            cache: ReplyCache::new(),
+            scratch_lock: RawSimpleLock::named("ipc.engine.scratch"),
+            scratch: AtomicU64::new(0),
+            supervised,
+        });
+        let slots: Vec<Arc<Mutex<Checkpoint>>> = (0..workers)
+            .map(|w| {
+                Arc::new(Mutex::new(Checkpoint {
+                    next_op: 0,
+                    mix: Mix::new(self.cfg.seed, w).0,
+                    seq: 0,
+                    generation: 0,
+                    tally: WorkerTally::default(),
+                    churn: Vec::new(),
+                }))
+            })
+            .collect();
 
-        if workers == 1 {
-            // Run inline: keeps single-worker storms usable from any
-            // context (no spawn permission needed under exotic hosts).
-            tallies.push(Self::worker(
-                0,
-                &self.cfg,
-                &self.ns,
-                &self.table,
-                &self.stats,
-                &self.server_port,
-                &self.transfer,
-                &self.stable,
-            ));
-        } else {
-            let results: Vec<_> = (0..workers)
-                .map(|w| {
-                    let cfg = self.cfg.clone();
-                    let ns = Arc::clone(&self.ns);
-                    let table = Arc::clone(&self.table);
-                    let stats = Arc::clone(&self.stats);
-                    let server_port = self.server_port.clone();
-                    let transfer = self.transfer.clone();
-                    let stable = Arc::clone(&self.stable);
-                    let slot = Arc::new(std::sync::Mutex::new(None));
-                    let out = Arc::clone(&slot);
-                    let token = host::spawn(move || {
-                        let tally = Self::worker(
+        let mut tallies: Vec<WorkerTally> = Vec::with_capacity(workers);
+        let mut crashes = 0u64;
+        let mut drained_recovery = 0u64;
+        let mut recovery_ns_total = 0u64;
+        let mut recovery_ns_max = 0u64;
+        let mut pending: Vec<usize> = (0..workers).collect();
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(
+                rounds <= MAX_SUPERVISION_ROUNDS,
+                "supervision livelock: workers still dying after {MAX_SUPERVISION_ROUNDS} restart rounds"
+            );
+            type Outcome = Result<WorkerTally, Box<dyn std::any::Any + Send>>;
+            let outcomes: Vec<(usize, Outcome)> = if workers == 1 {
+                // Run inline: keeps single-worker storms usable from any
+                // context (no spawn permission needed under exotic
+                // hosts); the supervisor loop recovers inline crashes
+                // the same way.
+                vec![(0, Self::worker_body(&shared, 0, &slots[0]))]
+            } else {
+                let handles: Vec<_> = pending
+                    .iter()
+                    .map(|&w| {
+                        let shared = Arc::clone(&shared);
+                        let slot = Arc::clone(&slots[w]);
+                        let out: Arc<Mutex<Option<Outcome>>> = Arc::new(Mutex::new(None));
+                        let res = Arc::clone(&out);
+                        let token = host::spawn(move || {
+                            let outcome = Self::worker_body(&shared, w, &slot);
+                            *res.lock().unwrap() = Some(outcome);
+                        });
+                        (w, token, out)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(w, token, out)| {
+                        host::join(token);
+                        (
                             w,
-                            &cfg,
-                            &ns,
-                            &table,
-                            &stats,
-                            &server_port,
-                            &transfer,
-                            &stable,
-                        );
-                        *out.lock().unwrap() = Some(tally);
-                    });
-                    (token, slot)
-                })
-                .collect();
-            for (token, slot) in results {
-                host::join(token);
-                tallies.push(
-                    slot.lock()
-                        .unwrap()
-                        .take()
-                        .expect("joined worker left its tally"),
-                );
+                            out.lock().unwrap().take().expect("joined worker left no outcome"),
+                        )
+                    })
+                    .collect()
+            };
+            let mut respawn: Vec<usize> = Vec::new();
+            for (w, outcome) in outcomes {
+                match outcome {
+                    Ok(tally) => tallies.push(tally),
+                    Err(payload) => {
+                        if !supervised {
+                            // A genuine bug, not an injected kill:
+                            // preserve the old propagation semantics.
+                            std::panic::resume_unwind(payload);
+                        }
+                        drop(payload);
+                        crashes += 1;
+                        let t0 = host::now();
+                        // Recovery step 1: drain the ring the corpse
+                        // fed — its in-flight rights must not pin the
+                        // storm at the watermark forever.
+                        let mut batch = Vec::new();
+                        while let Ok(n) = shared.transfer.receive_batch(&mut batch, 64) {
+                            if n == 0 {
+                                break;
+                            }
+                            drained_recovery += n as u64;
+                            batch.clear();
+                        }
+                        // Recovery step 2: the corpse's checkpoint is
+                        // its last consistent state — bump the
+                        // generation (fresh fault role, fresh seq-key
+                        // space) and respawn; the restart re-homes the
+                        // corpse's churn ports to itself.
+                        slots[w].lock().unwrap().generation += 1;
+                        let dt = host::now().saturating_sub(t0);
+                        recovery_ns_total += dt;
+                        recovery_ns_max = recovery_ns_max.max(dt);
+                        respawn.push(w);
+                    }
+                }
             }
+            pending = respawn;
         }
 
         // Quiesce the transfer ring: release every in-flight right.
-        let mut drained_tail = 0u64;
+        let mut drained_tail = drained_recovery;
         let mut batch = Vec::new();
         while let Ok(n) = self.transfer.receive_batch(&mut batch, 64) {
             if n == 0 {
@@ -565,22 +1123,78 @@ impl Engine {
             batch.clear();
         }
 
-        // Tear down the stable targets through the same terminate path.
+        // Tear down the stable targets through the same terminate path,
+        // idempotently: a teardown reply lost to an armed drop plan
+        // must not wedge the audit.
         let mut rpcs_teardown = 0u64;
-        for name in self.stable.iter() {
-            self.table
-                .msg_rpc(
-                    &self.server_port,
-                    Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
-                    self.cfg.semantics,
-                    &self.stats,
-                )
-                .expect("stable teardown");
-            rpcs_teardown += 1;
+        let mut retries_teardown = 0u64;
+        let deadline = Duration::from_nanos(self.cfg.rpc_deadline_ns.max(1));
+        for (i, name) in self.stable.iter().enumerate() {
+            // On failure the RPC is abandoned: the name is still
+            // published (or not) and the reconciliation pass below
+            // settles it either way.
+            if let Ok((_reply, retried)) = self.table.msg_rpc_retry(
+                &self.server_port,
+                || Message::new(OP_TASK_TERMINATE).with_int(u64::from(name.0)),
+                self.cfg.semantics,
+                &self.stats,
+                seq_key(TEARDOWN_INDEX, 0, i as u64),
+                &shared.cache,
+                deadline,
+            ) {
+                rpcs_teardown += 1;
+                retries_teardown += u64::from(retried);
+            }
         }
-        let elapsed_ns = host::now().saturating_sub(start);
 
-        debug_assert!(self.ns.is_empty(), "storm must drain the namespace");
+        // Crash reconciliation: whatever the storm leaked — tasks
+        // created by a dead incarnation after its checkpoint, names
+        // abandoned by retry exhaustion — is still published here.
+        // Unpublish, destroy, and repair the object ledger in one
+        // audited pass.
+        let leftovers = self.ns.drain();
+        let reconciled = leftovers.len() as u64;
+        debug_assert!(
+            supervised || leftovers.is_empty(),
+            "unsupervised storm must drain the namespace"
+        );
+        for port in &leftovers {
+            // Same shutdown order as the terminate handler: disable
+            // translation (drain already unpublished), then the port.
+            let obj = port.clear_kernel_object();
+            let _ = port.destroy();
+            drop(obj);
+        }
+        drop(leftovers);
+        if reconciled > 0 {
+            let recon = self.ledger.reconcile_crash(reconciled);
+            debug_assert_eq!(
+                recon.released, reconciled,
+                "reconciliation releases exactly the orphaned references"
+            );
+            let _ = recon;
+        }
+
+        // The scratch lock may still be poisoned if the last Holding
+        // victim had no later acquirer; the supervisor is the acquirer
+        // of last resort.
+        let mut poison_teardown = 0u64;
+        let mut repairs_teardown = 0u64;
+        if shared.scratch_lock.is_poisoned() {
+            poison_teardown += 1;
+            shared.scratch_lock.clear_poison();
+        }
+        // relaxed: every worker incarnation has been joined; no
+        // concurrent mutators remain.
+        let v = shared.scratch.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            // relaxed: single-threaded teardown, see above.
+            shared.scratch.store(v + 1, Ordering::Relaxed);
+            repairs_teardown += 1;
+        }
+
+        let elapsed_ns = host::now().saturating_sub(start);
+        debug_assert!(self.ns.is_empty(), "reconciliation must drain the namespace");
         let audit = self.ledger.drain_audit();
 
         let mut report = EngineReport {
@@ -592,7 +1206,18 @@ impl Engine {
             transfers: 0,
             transfer_full: 0,
             drained: drained_tail,
+            shed: 0,
+            crashes,
+            rehomed_ports: 0,
+            reconciled,
+            poison_observed: poison_teardown,
+            scratch_repairs: repairs_teardown,
+            retries: retries_teardown,
+            retry_exhausted: 0,
+            lock_timeouts: 0,
             elapsed_ns,
+            recovery_ns_total,
+            recovery_ns_max,
             digest: 0,
             rpc_balanced: self.stats.balanced(),
             ledger_total: audit.total,
@@ -606,6 +1231,13 @@ impl Engine {
             report.transfers += t.transfers;
             report.transfer_full += t.transfer_full;
             report.drained += t.drained;
+            report.shed += t.shed;
+            report.rehomed_ports += t.rehomed;
+            report.poison_observed += t.poison_observed;
+            report.scratch_repairs += t.scratch_repairs;
+            report.retries += t.retries;
+            report.retry_exhausted += t.retry_exhausted;
+            report.lock_timeouts += t.lock_timeouts;
             // Order-insensitive: workers join in index order, but the
             // fold is commutative anyway.
             report.digest = report.digest.wrapping_add(t.digest);
@@ -638,6 +1270,13 @@ mod tests {
             "every created task terminated"
         );
         assert!(report.pings > 0 && report.dead_hits > 0);
+        // No crashes, no bursts: the crash-survival layer must be
+        // invisible in every counter.
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.reconciled, 0);
+        assert_eq!(report.shed, 0, "no overload, nothing shed");
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.poison_observed, 0);
     }
 
     #[test]
@@ -677,5 +1316,86 @@ mod tests {
         .run();
         assert!(report.rpc_balanced);
         assert_eq!(report.ledger_total, 1);
+    }
+
+    #[test]
+    fn scheduled_crashes_are_survived_and_reconciled() {
+        let report = Engine::new(EngineConfig {
+            crash_at: vec![
+                CrashPoint { worker: 0, op: 100, kind: CrashKind::OpStart },
+                CrashPoint { worker: 1, op: 200, kind: CrashKind::AfterCreate },
+                CrashPoint { worker: 2, op: 300, kind: CrashKind::Holding },
+            ],
+            ..small(4, 7)
+        })
+        .run();
+        assert_eq!(report.crashes, 3, "every scheduled kill fired once");
+        assert!(report.rpc_balanced, "RpcStats ledger survives crashes");
+        assert_eq!(report.ledger_total, 1, "object ledger repaired to balance");
+        // The OpStart and Holding kills die with consistent
+        // checkpoints; only the AfterCreate kill leaks — exactly one
+        // published task whose name nobody holds. Its create *count*
+        // rolled back with the corpse's tally, so the counted books
+        // still balance while reconciliation repairs the object side.
+        assert_eq!(report.reconciled, 1, "exactly the AfterCreate orphan");
+        assert_eq!(
+            report.creates, report.terminates,
+            "counted creates match counted terminates even across the leak"
+        );
+        // The Holding kill leaves the lock poisoned and the parity
+        // torn; someone (a survivor or the teardown) must observe the
+        // typed poison and repair the tear.
+        assert!(report.poison_observed >= 1, "poison observed");
+        assert!(report.scratch_repairs >= 1, "parity repaired");
+    }
+
+    #[test]
+    fn crashed_single_worker_storm_is_deterministic() {
+        let cfg = |seed| EngineConfig {
+            crash_at: vec![CrashPoint { worker: 0, op: 500, kind: CrashKind::OpStart }],
+            ..small(1, seed)
+        };
+        let a = Engine::new(cfg(42)).run();
+        let b = Engine::new(cfg(42)).run();
+        assert_eq!(a.crashes, 1);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "crash recovery replays exactly (single worker, any host)"
+        );
+    }
+
+    #[test]
+    fn burst_overload_sheds_pings_but_lands_commits() {
+        let report = Engine::new(EngineConfig {
+            transfer_limit: 64,
+            burst_every: 128,
+            burst_len: 96,
+            ..small(4, 11)
+        })
+        .run();
+        assert!(report.shed > 0, "bursts must drive the ring past the watermark");
+        assert!(report.transfers > 0, "transfers still land under overload");
+        assert!(report.terminates > 0, "terminates still land under overload");
+        assert!(report.rpc_balanced);
+        assert_eq!(report.ledger_total, 1);
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.reconciled, 0);
+        assert_eq!(
+            report.creates, report.terminates,
+            "shedding never drops commit-class ops"
+        );
+        // Shedding happens after the decision draws, so the op mix is
+        // still seed-pure: pings attempted + pings shed is a constant.
+        let again = Engine::new(EngineConfig {
+            transfer_limit: 64,
+            burst_every: 128,
+            burst_len: 96,
+            ..small(4, 11)
+        })
+        .run();
+        assert_eq!(report.pings + report.shed, again.pings + again.shed);
+        assert_eq!(report.creates, again.creates);
+        assert_eq!(report.transfers + report.transfer_full, again.transfers + again.transfer_full);
     }
 }

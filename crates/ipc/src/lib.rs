@@ -52,9 +52,9 @@ pub mod port;
 pub mod portset;
 pub mod rpc;
 
-pub use engine::{Engine, EngineConfig, EngineReport};
+pub use engine::{CrashKind, CrashPoint, Engine, EngineConfig, EngineReport};
 pub use message::{Message, MsgElement};
 pub use namespace::{PortName, PortNameSpace};
 pub use port::{Port, PortError};
 pub use portset::PortSet;
-pub use rpc::{DispatchTable, KernError, RefSemantics, RpcError, RpcStats};
+pub use rpc::{DispatchTable, KernError, RefSemantics, ReplyCache, RpcError, RpcStats};

@@ -27,8 +27,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use machk_core::{Deactivated, ObjRef, Refable};
+use machk_core::sync::host;
+use machk_core::{Deactivated, JitterBackoff, ObjRef, Refable, SimpleLocked};
 
 use crate::message::Message;
 use crate::port::{Port, PortError};
@@ -156,6 +158,86 @@ impl RpcStats {
     }
 }
 
+/// Server-side reply cache keyed by idempotent sequence number: the
+/// piece that makes RPC *retry* safe against the §10 ledger.
+///
+/// When a reply is lost in transport ([`RpcError::ReplyDropped`]) the
+/// operation has already executed and its step-4 reference disposition
+/// has already settled — naively re-executing on retry would run the
+/// handler (and move the ledger) twice for one logical operation. So
+/// the server records the finished reply under the caller's sequence
+/// number at the drop point; a retry with the same number is answered
+/// **from the cache** — no translation, no handler, no reference
+/// movement — which is exactly the "at most one execution, at least one
+/// reply" contract that keeps `translations == interface_releases +
+/// operation_consumes` true under retry storms.
+///
+/// Entries are consumed by the first retry that hits them; entries for
+/// callers that died before retrying are dropped with the cache (the
+/// supervisor rebuilds engines per storm, so orphans are bounded).
+#[derive(Default)]
+pub struct ReplyCache {
+    map: SimpleLocked<HashMap<u64, Message>>,
+    /// Lock-free emptiness hint so the idempotent fast path costs one
+    /// relaxed load, not a shared-lock acquisition per RPC. A caller
+    /// only ever takes its *own* sequence numbers, and the recording
+    /// dispatch happens on that same caller's thread before its retry,
+    /// so program order alone makes the hint reliable where it matters.
+    pending: AtomicU64,
+}
+
+impl ReplyCache {
+    /// An empty cache.
+    pub fn new() -> ReplyCache {
+        ReplyCache::default()
+    }
+
+    /// Record the finished reply for sequence `seq` (called at the
+    /// reply-drop point, after the ledger has settled). Only the
+    /// fault-feature drop hook loses replies, hence the allow.
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    fn record(&self, seq: u64, reply: Message) {
+        let mut map = self.map.lock();
+        if map.insert(seq, reply).is_none() {
+            // relaxed: emptiness hint only; see the field docs.
+            self.pending.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Consume the recorded reply for `seq`, if the operation already
+    /// executed.
+    fn take(&self, seq: u64) -> Option<Message> {
+        // relaxed: emptiness hint only; see the field docs.
+        if self.pending.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let taken = self.map.lock().remove(&seq);
+        if taken.is_some() {
+            // relaxed: emptiness hint only; see the field docs.
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// Recorded replies awaiting a retry (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether no replies are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl core::fmt::Debug for ReplyCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ReplyCache")
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
 /// A handler: receives the (type-erased) object and the request, returns
 /// the reply. Errors are already lifted to [`RpcError`] so a routing
 /// mistake (wrong concrete type) surfaces as a typed error rather than
@@ -242,6 +324,86 @@ impl DispatchTable {
         semantics: RefSemantics,
         stats: &RpcStats,
     ) -> Result<Message, RpcError> {
+        self.dispatch(port, request, semantics, stats, None)
+    }
+
+    /// [`DispatchTable::msg_rpc`] with an idempotent sequence number:
+    /// if `cache` already holds the reply for `seq` — the operation
+    /// executed but its reply was lost — it is returned directly,
+    /// without translation, handler execution, or any ledger movement
+    /// (see [`ReplyCache`] for why that is the §10-safe retry shape).
+    /// Otherwise the RPC runs normally, and a lost reply is recorded
+    /// under `seq` before [`RpcError::ReplyDropped`] is reported.
+    pub fn msg_rpc_idempotent(
+        &self,
+        port: &ObjRef<Port>,
+        request: Message,
+        semantics: RefSemantics,
+        stats: &RpcStats,
+        seq: u64,
+        cache: &ReplyCache,
+    ) -> Result<Message, RpcError> {
+        if let Some(reply) = cache.take(seq) {
+            return Ok(reply);
+        }
+        self.dispatch(port, request, semantics, stats, Some((cache, seq)))
+    }
+
+    /// Deadline + jittered-backoff retry around
+    /// [`DispatchTable::msg_rpc_idempotent`]. Retries only the
+    /// transport-class failures — a dropped reply (the operation ran;
+    /// the retry is answered from the cache) and a transiently dead
+    /// port (nothing ran; re-executing is safe) — with decorrelated
+    /// jitter between attempts so a retry storm does not reconverge on
+    /// the server in phase. The deadline is measured on [`host::now`],
+    /// so under `machk-sim` retry timing is part of the deterministic
+    /// schedule. Returns the reply plus how many retries it took.
+    #[allow(clippy::too_many_arguments)] // the full retry contract: port, request, semantics, stats, idempotency key, cache, deadline
+    pub fn msg_rpc_retry(
+        &self,
+        port: &ObjRef<Port>,
+        make_request: impl Fn() -> Message,
+        semantics: RefSemantics,
+        stats: &RpcStats,
+        seq: u64,
+        cache: &ReplyCache,
+        deadline: Duration,
+    ) -> Result<(Message, u32), RpcError> {
+        // The clock is read lazily, on the first failure: the common
+        // all-success case must cost nothing beyond the dispatch itself
+        // (this sits on the engine's storm hot path).
+        let mut start: Option<u64> = None;
+        let mut retries = 0u32;
+        let mut backoff = JitterBackoff::new();
+        loop {
+            match self.msg_rpc_idempotent(port, make_request(), semantics, stats, seq, cache) {
+                Ok(reply) => return Ok((reply, retries)),
+                Err(e @ (RpcError::ReplyDropped | RpcError::Port(PortError::Dead))) => {
+                    let now = host::now();
+                    let waited = Duration::from_nanos(now.saturating_sub(*start.get_or_insert(now)));
+                    if waited >= deadline {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    backoff.pause();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The shared five-step dispatch core; `record` carries the reply
+    /// cache + sequence for the idempotent entry point.
+    fn dispatch(
+        &self,
+        port: &ObjRef<Port>,
+        request: Message,
+        semantics: RefSemantics,
+        stats: &RpcStats,
+        record: Option<(&ReplyCache, u64)>,
+    ) -> Result<Message, RpcError> {
+        #[cfg(not(feature = "fault"))]
+        let _ = record;
         // Fault hook: the port died between the caller's send and our
         // translation. Injected *before* the translation counter so no
         // reference was obtained and the ledger stays balanced.
@@ -294,10 +456,15 @@ impl DispatchTable {
         // Fault hook: the reply is lost on the way back. The operation
         // ran and the step-4 disposition above already happened — as
         // with a real dropped reply, only the *caller's view* is lost,
-        // so the reference ledger is untouched and still balances.
+        // so the reference ledger is untouched and still balances. For
+        // idempotent callers the finished reply is recorded first, so a
+        // retry is answered without re-executing anything.
         #[cfg(feature = "fault")]
         if result.is_ok() && machk_fault::fire(machk_fault::FaultSite::RpcDropReply) {
             drop(request);
+            if let (Some((cache, seq)), Ok(reply)) = (record, result) {
+                cache.record(seq, reply);
+            }
             return Err(RpcError::ReplyDropped);
         }
 

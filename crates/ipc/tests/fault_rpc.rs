@@ -111,3 +111,50 @@ fn disarmed_hooks_are_inert() {
     assert_eq!(r.int_at(0), Some(2));
     assert!(stats.balanced());
 }
+
+#[test]
+fn engine_storm_survives_seeded_worker_crashes() {
+    let _g = GATE.lock().unwrap();
+    use machk_fault::rate_from_prob;
+    use machk_ipc::{CrashKind, CrashPoint, Engine, EngineConfig};
+
+    // Seeded chaos (worker kills mid-op and mid-hold, dropped replies)
+    // plus one scheduled kill so the supervisor provably engages even
+    // if the seed rolls a quiet storm. `declared_roles_only` keeps the
+    // supervisor/teardown thread unperturbed: only engine workers
+    // (which declare generation-qualified roles) draw faults.
+    machk_fault::install(
+        FaultPlan::new(0x20E5)
+            .with_rate(FaultSite::WorkerCrash, rate_from_prob(0.0002))
+            .with_rate(FaultSite::WorkerCrashHolding, rate_from_prob(0.0001))
+            .with_rate(FaultSite::RpcDropReply, rate_from_prob(0.002))
+            .declared_roles_only(),
+    );
+    let report = Engine::new(EngineConfig {
+        workers: 4,
+        ops_per_worker: 2_000,
+        stable_ports: 16,
+        seed: 0xE20,
+        crash_at: vec![CrashPoint {
+            worker: 0,
+            op: 250,
+            kind: CrashKind::AfterCreate,
+        }],
+        ..EngineConfig::default()
+    })
+    .run();
+    machk_fault::disarm();
+
+    assert!(report.crashes >= 1, "at least the scheduled kill fired");
+    assert!(report.retries > 0, "dropped replies forced idempotent retries");
+    assert!(report.rpc_balanced, "translation ledger survives the chaos");
+    assert_eq!(report.ledger_total, 1, "object ledger repaired to balance");
+    assert_eq!(
+        report.creates, report.terminates,
+        "counted books balance: retries never double-count, leaks reconcile"
+    );
+    assert!(
+        report.reconciled >= 1,
+        "the scheduled AfterCreate kill leaks exactly one orphan to reconcile"
+    );
+}

@@ -17,7 +17,7 @@ use std::time::Duration;
 use machk_sync::host;
 
 use machk_event::{assert_wait, thread_block, thread_block_timeout, thread_wakeup, Event};
-use machk_sync::{LockTimeout, SimpleLocked, SimpleLockedGuard};
+use machk_sync::{LockError, LockTimeout, Poisoned, SimpleLocked, SimpleLockedGuard};
 
 /// Error returned by a failed read→write upgrade.
 ///
@@ -805,6 +805,38 @@ impl ComplexLock {
         })
     }
 
+    /// Checked, bounded read acquisition: a poisoned lock is reported
+    /// as [`LockError::Poisoned`] before any waiting (and re-checked
+    /// after acquisition, releasing the lock, in case the holder died
+    /// while we waited). The recovery protocol is the same as for
+    /// [`machk_sync::RawSimpleLock::lock_checked`]: clear the poison,
+    /// re-acquire, validate/repair the protected state under the guard.
+    pub fn read_checked(&self, limit: Duration) -> Result<ReadGuard<'_>, LockError> {
+        if self.is_poisoned() {
+            return Err(LockError::Poisoned(Poisoned));
+        }
+        let guard = self.read_with_deadline(limit)?;
+        if self.is_poisoned() {
+            drop(guard);
+            return Err(LockError::Poisoned(Poisoned));
+        }
+        Ok(guard)
+    }
+
+    /// Checked, bounded write acquisition (see
+    /// [`ComplexLock::read_checked`] for the poison protocol).
+    pub fn write_checked(&self, limit: Duration) -> Result<WriteGuard<'_>, LockError> {
+        if self.is_poisoned() {
+            return Err(LockError::Poisoned(Poisoned));
+        }
+        let guard = self.write_with_deadline(limit)?;
+        if self.is_poisoned() {
+            drop(guard);
+            return Err(LockError::Poisoned(Poisoned));
+        }
+        Ok(guard)
+    }
+
     /// Single attempt to acquire for reading.
     pub fn try_read(&self) -> Option<ReadGuard<'_>> {
         self.try_read_raw().then(|| ReadGuard {
@@ -1258,6 +1290,40 @@ mod tests {
         drop(lock.write());
         drop(lock.read());
         assert!(!lock.is_poisoned());
+    }
+
+    #[test]
+    fn checked_forms_report_typed_poison_without_waiting() {
+        let lock = ComplexLock::new(true);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _w = lock.write();
+            panic!("holder dies mid-update");
+        }));
+        assert!(lock.is_poisoned());
+        // Typed error, immediately, even with a generous deadline.
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            lock.write_checked(Duration::from_secs(5)).err(),
+            Some(LockError::Poisoned(Poisoned))
+        );
+        assert_eq!(
+            lock.read_checked(Duration::from_secs(5)).err(),
+            Some(LockError::Poisoned(Poisoned))
+        );
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Repair protocol: clear, re-acquire checked, proceed.
+        lock.clear_poison();
+        let w = lock
+            .write_checked(Duration::from_secs(5))
+            .expect("cleared lock must acquire");
+        drop(w);
+        // And a timeout still surfaces as the Timeout variant.
+        let r = lock.read();
+        assert!(matches!(
+            lock.write_checked(Duration::from_millis(20)),
+            Err(LockError::Timeout(_))
+        ));
+        drop(r);
     }
 
     #[test]

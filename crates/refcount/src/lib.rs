@@ -75,4 +75,4 @@ pub mod sharded;
 pub use count::{DrainableCount, LockedRefCount};
 pub use header::{Deactivated, ObjHeader};
 pub use objref::{ObjRef, Refable};
-pub use sharded::{DrainAudit, ShardedRefCount};
+pub use sharded::{CrashReconciliation, DrainAudit, ShardedRefCount};

@@ -377,6 +377,71 @@ impl ShardedRefCount {
         }
     }
 
+    /// Crash reconciliation: audit and repair the ledger contribution of
+    /// a worker that died holding `leaked` references it can never
+    /// release. The §8 contract makes every reference somebody's
+    /// obligation to release; a crashed holder orphans its obligations,
+    /// and without repair the count can never drain to zero — the object
+    /// leaks forever and every shutdown-time ledger audit fails.
+    ///
+    /// Runs the full drain-to-exact protocol under the drain lock (close
+    /// every shard, fold into `base`), then releases the `leaked`
+    /// orphaned references in one exact step. The creation reference
+    /// must survive: a supervisor reconciles *before* the owner's own
+    /// final release, so `leaked` exceeding the folded surplus means the
+    /// caller double-counted the corpse's holdings — that is asserted,
+    /// not absorbed, because repairing with a wrong count is exactly the
+    /// §8 premature-destruction bug this pass exists to prevent.
+    ///
+    /// Pegged counts are immortal; reconciliation is recorded but
+    /// releases nothing (`released = 0`), mirroring
+    /// [`ShardedRefCount::release`] on a saturated count.
+    pub fn reconcile_crash(&self, leaked: u64) -> CrashReconciliation {
+        let _g = self.drain_lock.lock();
+        // relaxed: `base` only moves under the drain lock.
+        let base = self.base.load(Ordering::Relaxed);
+        let mut outstanding: u64 = 0;
+        for s in &self.shards {
+            let v = s.0.swap(CLOSED, Ordering::AcqRel);
+            debug_assert_ne!(v, CLOSED, "concurrent drain under the drain lock");
+            outstanding += u64::from(v);
+        }
+        if base == PEGGED {
+            for s in &self.shards {
+                s.0.store(0, Ordering::Release);
+            }
+            return CrashReconciliation {
+                before: u64::from(PEGGED),
+                released: 0,
+                after: u64::from(PEGGED),
+                pegged: true,
+            };
+        }
+        let before = u64::from(base) + outstanding;
+        assert!(
+            before > leaked,
+            "crash reconciliation would release the creation reference \
+             ({before} live, {leaked} claimed leaked): the corpse's holdings \
+             were double-counted"
+        );
+        let after = before - leaked;
+        // relaxed: under the drain lock; published by the Release
+        // shard re-opens below.
+        self.base
+            .store(u32::try_from(after).unwrap_or(PEGGED), Ordering::Relaxed);
+        for s in &self.shards {
+            s.0.store(0, Ordering::Release);
+        }
+        #[cfg(feature = "obs")]
+        self.obs_ref(machk_obs::RefOp::Drain, machk_obs::EventKind::RefDrain, outstanding);
+        CrashReconciliation {
+            before,
+            released: leaked,
+            after,
+            pegged: false,
+        }
+    }
+
     /// Approximate current count: `base` plus the open shards. Skips
     /// shards closed by a concurrent drain, and the parts can move while
     /// being summed — diagnostics only, like
@@ -406,6 +471,19 @@ pub struct DrainAudit {
     /// (diagnostic: how unbalanced the fast paths had gotten).
     pub from_shards: u64,
     /// The count is saturated/immortal; `total` is a floor, not exact.
+    pub pegged: bool,
+}
+
+/// Result of a [`ShardedRefCount::reconcile_crash`] repair pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashReconciliation {
+    /// Exact live count found at close (before repair).
+    pub before: u64,
+    /// Orphaned references released on the corpse's behalf.
+    pub released: u64,
+    /// Exact live count after repair.
+    pub after: u64,
+    /// The count was saturated/immortal; nothing was released.
     pub pegged: bool,
 }
 
@@ -518,6 +596,43 @@ mod tests {
         }
         assert!(c.release(), "audit must not perturb final detection");
         assert_eq!(c.drain_audit().total, 0);
+    }
+
+    #[test]
+    fn crash_reconciliation_repairs_orphaned_references() {
+        // A "worker" takes 5 references, then dies without releasing:
+        // the count can never drain to zero on its own.
+        let c = ShardedRefCount::new();
+        for _ in 0..5 {
+            c.take();
+        }
+        let rec = c.reconcile_crash(5);
+        assert_eq!(rec.before, 6, "1 creation + 5 orphaned");
+        assert_eq!(rec.released, 5);
+        assert_eq!(rec.after, 1);
+        assert!(!rec.pegged);
+        // Only the creation reference remains; its release is final.
+        assert!(c.release());
+    }
+
+    #[test]
+    #[should_panic(expected = "creation reference")]
+    fn crash_reconciliation_rejects_double_counted_leaks() {
+        let c = ShardedRefCount::new();
+        c.take();
+        // Claiming 2 leaked when only 1 is orphaned would release the
+        // creation reference out from under the owner.
+        let _ = c.reconcile_crash(2);
+    }
+
+    #[test]
+    fn crash_reconciliation_on_pegged_count_releases_nothing() {
+        let c = ShardedRefCount::new_with_count(u32::MAX);
+        assert!(c.is_pegged());
+        let rec = c.reconcile_crash(10);
+        assert!(rec.pegged);
+        assert_eq!(rec.released, 0);
+        assert!(c.is_pegged());
     }
 
     #[test]

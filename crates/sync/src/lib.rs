@@ -99,7 +99,7 @@ pub mod simple;
 pub mod simple_locked;
 pub mod stats;
 
-pub use deadline::{JitterBackoff, LockTimeout};
+pub use deadline::{JitterBackoff, LockError, LockTimeout, Poisoned};
 pub use host::{Host, JoinToken, SpinSite, ThreadToken};
 pub use policy::{AdaptiveSpin, Backoff, SpinPolicy};
 pub use raw::{RawSimpleLock, SimpleGuard};

@@ -8,10 +8,10 @@
 //! this type preserves that property — embed it wherever a lock is needed.
 
 use core::fmt;
-use core::sync::atomic::{AtomicU32, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::Duration;
 
-use crate::deadline::{JitterBackoff, LockTimeout};
+use crate::deadline::{JitterBackoff, LockError, LockTimeout, Poisoned};
 use crate::held;
 use crate::host;
 use crate::policy::{self, AdaptiveSpin, Backoff, SpinPolicy};
@@ -81,6 +81,13 @@ pub struct RawSimpleLock {
     adaptive: AdaptiveSpin,
     /// Ticket/MCS queue state; quiescent for word-spinning policies.
     queued: QueuedState,
+    /// Set when a guard is dropped during a panic: the protected
+    /// invariant may be torn. Checked (and reported as a typed
+    /// [`Poisoned`]) by [`lock_checked`]; the unconditional forms
+    /// deliberately ignore it, matching the C interface.
+    ///
+    /// [`lock_checked`]: RawSimpleLock::lock_checked
+    poisoned: AtomicBool,
     /// Debug-only: `ThreadId` hash of the holder, to catch self-deadlock.
     #[cfg(debug_assertions)]
     holder: AtomicU32,
@@ -139,6 +146,7 @@ impl RawSimpleLock {
             backoff,
             adaptive,
             queued: QueuedState::new(),
+            poisoned: AtomicBool::new(false),
             #[cfg(debug_assertions)]
             holder: AtomicU32::new(0),
             #[cfg(feature = "obs")]
@@ -160,6 +168,7 @@ impl RawSimpleLock {
             );
         }
         self.queued.reset();
+        self.poisoned.store(false, Ordering::Relaxed); // relaxed: advisory flag, see `is_poisoned`
         policy::release(&self.word);
     }
 
@@ -226,6 +235,59 @@ impl RawSimpleLock {
                 return Err(LockTimeout { waited });
             }
         }
+    }
+
+    /// Checked, bounded acquisition: like [`lock_with_deadline`], but a
+    /// poisoned lock is reported as [`LockError::Poisoned`] *before any
+    /// spinning* — the caller must not burn the deadline waiting for an
+    /// invariant that is already known to need repair.
+    ///
+    /// The poison flag is also re-checked after a successful
+    /// acquisition: a holder may die (poisoning on its panicking drop)
+    /// while we wait, and handing out a clean guard over torn state
+    /// would defeat the diagnosis. On the post-acquire hit the lock is
+    /// released before the error is returned, so the caller can run the
+    /// repair protocol: [`clear_poison`], re-acquire, validate/repair
+    /// the protected state under the new guard.
+    ///
+    /// [`lock_with_deadline`]: RawSimpleLock::lock_with_deadline
+    /// [`clear_poison`]: RawSimpleLock::clear_poison
+    pub fn lock_checked(&self, limit: Duration) -> Result<SimpleGuard<'_>, LockError> {
+        if self.is_poisoned() {
+            return Err(LockError::Poisoned(Poisoned));
+        }
+        let guard = self.lock_with_deadline(limit)?;
+        if self.is_poisoned() {
+            drop(guard);
+            return Err(LockError::Poisoned(Poisoned));
+        }
+        Ok(guard)
+    }
+
+    /// Whether a previous holder's guard was dropped during a panic.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        // relaxed: the flag is advisory until re-checked under the lock
+        // (`lock_checked` does exactly that after acquiring).
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Acknowledge poison after validating/repairing the protected
+    /// state. Idempotent; racing repairers both proceed to re-acquire
+    /// and validate under the guard, which is the safe order.
+    #[inline]
+    pub fn clear_poison(&self) {
+        // relaxed: see `is_poisoned`; clearing is an advisory ack.
+        self.poisoned.store(false, Ordering::Relaxed);
+    }
+
+    /// Stamp the poison diagnosis explicitly (the guard does this
+    /// automatically on a panicking drop; exposed for wrappers that
+    /// manage the lock word themselves).
+    #[inline]
+    pub fn poison(&self) {
+        // relaxed: see `is_poisoned`.
+        self.poisoned.store(true, Ordering::Relaxed);
     }
 
     /// Policy dispatch for a blocking acquisition; returns the failed /
@@ -505,6 +567,14 @@ impl SimpleGuard<'_> {
 impl Drop for SimpleGuard<'_> {
     #[inline]
     fn drop(&mut self) {
+        // Poison-then-release, not hold-forever: a dead holder that kept
+        // the word set would convert one thread's panic into every other
+        // thread's spin-hang (the limit case of the paper's "delayed
+        // holder"). Releasing with the typed stamp lets the next
+        // acquirer diagnose and repair instead.
+        if std::thread::panicking() {
+            self.lock.poison();
+        }
         self.lock.unlock_raw();
     }
 }
@@ -620,6 +690,63 @@ mod tests {
             drop(g);
         });
         assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn panicking_holder_poisons_but_releases() {
+        let lock = RawSimpleLock::new();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = lock.lock();
+            panic!("holder dies mid-hold");
+        }));
+        assert!(res.is_err());
+        // Released (no spin-hang for the next acquirer) *and* stamped.
+        assert!(!lock.is_locked());
+        assert!(lock.is_poisoned());
+    }
+
+    #[test]
+    fn checked_acquire_reports_poison_without_spinning() {
+        let lock = RawSimpleLock::new();
+        lock.poison();
+        // Even with the lock *held* and a long deadline, the typed
+        // diagnosis must come back immediately — the poison pre-check
+        // runs before any backoff spinning.
+        let _g = lock.lock();
+        let t0 = std::time::Instant::now();
+        let err = lock
+            .lock_checked(std::time::Duration::from_secs(5))
+            .map(|_guard| ())
+            .expect_err("poisoned lock must report, not spin");
+        assert_eq!(err, LockError::Poisoned(Poisoned));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn clear_poison_restores_checked_acquisition() {
+        let lock = RawSimpleLock::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = lock.lock();
+            panic!("die");
+        }));
+        assert!(lock.is_poisoned());
+        lock.clear_poison();
+        let g = lock
+            .lock_checked(std::time::Duration::from_secs(5))
+            .expect("cleared lock must acquire");
+        drop(g);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn ordinary_drop_does_not_poison() {
+        let lock = RawSimpleLock::new();
+        drop(lock.lock());
+        assert!(!lock.is_poisoned());
+        let g = lock
+            .lock_checked(std::time::Duration::from_secs(5))
+            .expect("clean lock must acquire");
+        drop(g);
     }
 
     #[test]

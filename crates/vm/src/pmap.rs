@@ -277,9 +277,10 @@ impl PvSystem {
                 let pmap = &self.pmaps[pmap_id];
                 if !pmap.lock.try_lock_raw() {
                     // Backout: drop the pv lock, let the forward-order
-                    // holder finish, retry from scratch.
+                    // holder finish, retry from scratch. The host hint
+                    // makes the retry a scheduling point under machk-sim.
                     pv.lock.unlock_raw();
-                    core::hint::spin_loop();
+                    machk_core::sync::host::spin_hint(machk_core::sync::host::SpinSite::Generic);
                     continue 'restart;
                 }
                 {

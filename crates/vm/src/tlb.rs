@@ -114,12 +114,15 @@ impl TlbSystem {
         // Spin masked — this CPU cannot take the barrier IPI, which is
         // exactly why the exemption logic must exist. (Yield bounds the
         // spin on oversubscribed hosts; the simulated CPU stays masked.)
+        // Host spin hints: under machk-sim every iteration is a
+        // scheduling point, so the masked spin cannot starve the holder.
+        use machk_core::sync::host;
         let mut spins = 0u32;
         while !self.pmap_locks[pmap].try_lock() {
-            core::hint::spin_loop();
+            host::spin_hint(host::SpinSite::Generic);
             spins += 1;
             if spins >= 256 {
-                std::thread::yield_now();
+                host::yield_now();
                 spins = 0;
             }
         }
